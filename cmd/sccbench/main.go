@@ -1,0 +1,57 @@
+// Command sccbench regenerates the paper's evaluation figures.  Each
+// experiment sweeps one parameter and prints a table with one row per
+// (parameter value, algorithm) pair, reporting wall-clock time and block
+// I/Os — the quantities plotted in Figs. 6-9 of the paper.
+//
+// Usage:
+//
+//	sccbench -experiment fig6
+//	sccbench -experiment all -quick -csv results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"extscc/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sccbench: ")
+
+	experiment := flag.String("experiment", "all", "experiment to run: all, "+fmt.Sprint(bench.Experiments()))
+	scale := flag.Int("scale", 1000, "divide the paper's dataset sizes by this factor")
+	quick := flag.Bool("quick", false, "shrink workloads further for a fast smoke run")
+	tempDir := flag.String("tmp", os.TempDir(), "directory for graphs and intermediate files")
+	csvPath := flag.String("csv", "", "also write measurements as CSV to this file")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir}
+	var (
+		ms  []bench.Measurement
+		err error
+	)
+	if *experiment == "all" {
+		ms, err = bench.RunAll(cfg)
+	} else {
+		ms, err = bench.Run(*experiment, cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatTable(ms))
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(f, ms); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("CSV written to %s\n", *csvPath)
+	}
+}

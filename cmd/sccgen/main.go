@@ -1,0 +1,110 @@
+// Command sccgen generates the workloads of the paper's evaluation as on-disk
+// edge files: the Table I synthetic families (massive / large / small SCCs),
+// the web-graph-like WEBSPAM-UK2007 stand-in, and simple structured graphs.
+//
+// Usage:
+//
+//	sccgen -kind large -scale 1000 -out large.edges
+//	sccgen -kind web -nodes 120000 -out web.edges
+//	sccgen -kind dag -nodes 50000 -out dag.edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"extscc/internal/graphgen"
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sccgen: ")
+
+	kind := flag.String("kind", "large", "workload kind: massive, large, small, web, random, cycle, path, dag, paper")
+	scale := flag.Int("scale", 1000, "divide the paper's Table I sizes by this factor")
+	nodes := flag.Int("nodes", 0, "override the number of nodes (0 = preset default)")
+	degree := flag.Int("degree", 0, "override the average degree (0 = preset default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "output edge file (required)")
+	flag.Parse()
+
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+	cfg, err := iomodel.DefaultConfig().Validate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var written int64
+	switch *kind {
+	case "massive", "large", "small":
+		var p graphgen.SyntheticParams
+		switch *kind {
+		case "massive":
+			p = graphgen.MassiveSCCParams(*scale)
+		case "large":
+			p = graphgen.LargeSCCParams(*scale)
+		case "small":
+			p = graphgen.SmallSCCParams(*scale)
+		}
+		if *nodes > 0 {
+			p.NumNodes = *nodes
+		}
+		if *degree > 0 {
+			p.AvgDegree = *degree
+		}
+		p.Seed = *seed
+		written, err = p.WriteTo(*out, cfg)
+	case "web":
+		p := graphgen.DefaultWebGraphParams()
+		if *nodes > 0 {
+			p.NumNodes = *nodes
+		}
+		if *degree > 0 {
+			p.AvgDegree = *degree
+		}
+		p.Seed = *seed
+		written, err = p.WriteTo(*out, cfg)
+	case "random", "cycle", "path", "dag", "paper":
+		var edges []record.Edge
+		n := *nodes
+		if n == 0 {
+			n = 10000
+		}
+		switch *kind {
+		case "random":
+			m := n * 4
+			if *degree > 0 {
+				m = n * *degree
+			}
+			edges = graphgen.Random(n, m, *seed)
+		case "cycle":
+			edges = graphgen.Cycle(n)
+		case "path":
+			edges = graphgen.Path(n)
+		case "dag":
+			m := n * 3
+			if *degree > 0 {
+				m = n * *degree
+			}
+			edges = graphgen.DAGLayered(n, m, *seed)
+		case "paper":
+			edges, _ = graphgen.PaperExample()
+		}
+		err = recio.WriteSlice(*out, record.EdgeCodec{}, cfg, edges)
+		written = int64(len(edges))
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		os.Remove(*out)
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d edges to %s\n", written, *out)
+}

@@ -1,0 +1,65 @@
+// Webgraph: an end-to-end out-of-core pipeline in the style of the paper's
+// WEBSPAM-UK2007 experiment.  It streams a web-like graph directly to disk
+// (never materialising it in memory), runs both Ext-SCC and Ext-SCC-Op from
+// the on-disk edge file under a small memory budget, and compares their I/O
+// cost — the same comparison Fig. 6 and Fig. 7 of the paper make.
+//
+// Run with:
+//
+//	go run ./examples/webgraph
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"extscc"
+	"extscc/internal/graphgen"
+	"extscc/internal/iomodel"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "extscc-webgraph-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Stream the graph to disk with generator-local state only.
+	p := graphgen.WebGraphParams{NumNodes: 20000, AvgDegree: 10, CoreFraction: 0.35, HostSize: 100, Seed: 2014}
+	edgePath := filepath.Join(dir, "web.edges")
+	genCfg, err := iomodel.DefaultConfig().Validate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	numEdges, err := p.WriteTo(edgePath, genCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated web-like graph: %d nodes, %d edges (%.1f MB on disk)\n",
+		p.NumNodes, numEdges, float64(numEdges*8)/1e6)
+
+	run := func(name string, basic bool) {
+		start := time.Now()
+		res, err := extscc.ComputeFile(edgePath, p.AllNodes(), extscc.Options{
+			NodeBudget: int64(p.NumNodes / 4), // only a quarter of the nodes fit "in memory"
+			TempDir:    dir,
+			Basic:      basic,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer res.Close()
+		fmt.Printf("%-12s  SCCs=%-6d iterations=%d  I/Os=%-8d random I/Os=%-4d  wall=%s\n",
+			name, res.NumSCCs, res.Stats.ContractionIterations, res.Stats.TotalIOs,
+			res.Stats.RandomIOs, time.Since(start).Round(time.Millisecond))
+	}
+	run("Ext-SCC", true)
+	run("Ext-SCC-Op", false)
+
+	fmt.Println("\nBoth variants use only sequential scans and external sorts;")
+	fmt.Println("Ext-SCC-Op removes more nodes and edges per iteration, so it needs fewer I/Os.")
+}

@@ -1,0 +1,141 @@
+package extscc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"extscc"
+	"extscc/internal/graphgen"
+	"extscc/internal/iomodel"
+	"extscc/internal/memgraph"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+func TestComputePaperExample(t *testing.T) {
+	edges, nodes := graphgen.PaperExample()
+	res, err := extscc.Compute(edges, nodes, extscc.Options{NodeBudget: 4, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.NumNodes != 13 {
+		t.Fatalf("NumNodes = %d, want 13", res.NumNodes)
+	}
+	if res.NumSCCs != 5 {
+		t.Fatalf("NumSCCs = %d, want 5 (Example 3.1)", res.NumSCCs)
+	}
+	m, err := res.LabelMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[1] != m[6] || m[8] != m[11] || m[1] == m[8] {
+		t.Fatalf("unexpected grouping: %v", m)
+	}
+	if res.Stats.ContractionIterations == 0 {
+		t.Fatal("expected contraction iterations under a 4-node budget")
+	}
+	if res.Stats.RandomIOs != 0 {
+		t.Fatalf("Ext-SCC performed %d random I/Os", res.Stats.RandomIOs)
+	}
+	if res.Stats.TotalIOs == 0 || res.Stats.Duration <= 0 {
+		t.Fatalf("missing stats: %+v", res.Stats)
+	}
+}
+
+func TestComputeMatchesTarjan(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		edges := graphgen.Random(80, 240, seed)
+		for _, basic := range []bool{false, true} {
+			res, err := extscc.Compute(edges, nil, extscc.Options{NodeBudget: 15, TempDir: t.TempDir(), Basic: basic})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := res.Labels()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := memgraph.FromEdges(edges, nil).Tarjan().Labels()
+			if !memgraph.SameSCCPartition(got, want) {
+				t.Fatalf("seed %d basic=%v: partition mismatch", seed, basic)
+			}
+			res.Close()
+		}
+	}
+}
+
+func TestComputeFile(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := iomodel.DefaultConfig().Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := graphgen.Cycle(100)
+	edgePath := filepath.Join(dir, "cycle.edges")
+	if err := recio.WriteSlice(edgePath, record.EdgeCodec{}, cfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	res, err := extscc.ComputeFile(edgePath, []extscc.NodeID{200, 201}, extscc.Options{NodeBudget: 20, TempDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.NumNodes != 102 {
+		t.Fatalf("NumNodes = %d, want 102 (cycle + 2 isolated)", res.NumNodes)
+	}
+	if res.NumSCCs != 3 {
+		t.Fatalf("NumSCCs = %d, want 3", res.NumSCCs)
+	}
+	m, err := res.LabelMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != m[99] {
+		t.Fatal("cycle nodes should share one SCC")
+	}
+	if m[200] == m[0] || m[201] == m[0] || m[200] == m[201] {
+		t.Fatal("isolated nodes should be singleton SCCs")
+	}
+}
+
+func TestComputeEmptyGraph(t *testing.T) {
+	res, err := extscc.Compute(nil, []extscc.NodeID{1, 2, 3}, extscc.Options{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.NumNodes != 3 || res.NumSCCs != 3 {
+		t.Fatalf("got %d nodes, %d SCCs; want 3 and 3", res.NumNodes, res.NumSCCs)
+	}
+}
+
+func TestComputeInvalidOptions(t *testing.T) {
+	_, err := extscc.Compute(graphgen.Cycle(4), nil, extscc.Options{MemoryBytes: 100, BlockSize: 100, TempDir: t.TempDir()})
+	if err == nil {
+		t.Fatal("expected an error for M < 2*B")
+	}
+}
+
+func TestComputeFileMissing(t *testing.T) {
+	_, err := extscc.ComputeFile(filepath.Join(t.TempDir(), "missing.edges"), nil, extscc.Options{TempDir: t.TempDir()})
+	if err == nil {
+		t.Fatal("expected an error for a missing edge file")
+	}
+}
+
+func TestResultCloseIdempotent(t *testing.T) {
+	res, err := extscc.Compute(graphgen.Cycle(10), nil, extscc.Options{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Close(); err != nil {
+		t.Fatalf("second Close should not fail: %v", err)
+	}
+	var nilRes *extscc.Result
+	if err := nilRes.Close(); err != nil {
+		t.Fatalf("nil Close should not fail: %v", err)
+	}
+}

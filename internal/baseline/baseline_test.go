@@ -1,0 +1,186 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"extscc/internal/edgefile"
+	"extscc/internal/graphgen"
+	"extscc/internal/iomodel"
+	"extscc/internal/memgraph"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+func testConfig(t *testing.T) iomodel.Config {
+	t.Helper()
+	return iomodel.Config{BlockSize: 512, Memory: 16 * 1024, TempDir: t.TempDir(), Stats: &iomodel.Stats{}}
+}
+
+func buildGraph(t *testing.T, cfg iomodel.Config, edges []record.Edge, nodes []record.NodeID) edgefile.Graph {
+	t.Helper()
+	g, err := edgefile.WriteGraph(cfg.TempDir, edges, nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func checkDFS(t *testing.T, edges []record.Edge, nodes []record.NodeID, useBRT bool) *DFSResult {
+	t.Helper()
+	cfg := testConfig(t)
+	g := buildGraph(t, cfg, edges, nodes)
+	res, err := DFSSCC(g, cfg.TempDir, DFSOptions{UseBRT: useBRT}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := recio.ReadAll(res.LabelPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := memgraph.FromEdges(edges, nodes).Tarjan().Labels()
+	if !memgraph.SameSCCPartition(got, want) {
+		t.Fatalf("DFS-SCC partition mismatch (brt=%v)\ngot  %v\nwant %v", useBRT, got, want)
+	}
+	return res
+}
+
+func TestDFSSCCPaperExample(t *testing.T) {
+	edges, nodes := graphgen.PaperExample()
+	res := checkDFS(t, edges, nodes, false)
+	if res.NumSCCs != 5 {
+		t.Fatalf("NumSCCs = %d, want 5", res.NumSCCs)
+	}
+}
+
+func TestDFSSCCWithBRT(t *testing.T) {
+	edges, nodes := graphgen.PaperExample()
+	checkDFS(t, edges, nodes, true)
+}
+
+func TestDFSSCCStructuredGraphs(t *testing.T) {
+	checkDFS(t, graphgen.Cycle(30), nil, false)
+	checkDFS(t, graphgen.Path(30), nil, false)
+	checkDFS(t, graphgen.Random(40, 120, 1), nil, false)
+	checkDFS(t, graphgen.Cycle(15), []record.NodeID{90, 91}, false)
+}
+
+func TestDFSSCCGeneratesRandomIO(t *testing.T) {
+	cfg := testConfig(t)
+	g := buildGraph(t, cfg, graphgen.Random(60, 180, 3), nil)
+	res, err := DFSSCC(g, cfg.TempDir, DFSOptions{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The central contrast with Ext-SCC: external DFS pays random I/Os.
+	if res.IO.RandomIOs() == 0 {
+		t.Fatal("expected DFS-SCC to perform random I/Os")
+	}
+}
+
+func TestDFSSCCBudgetExceeded(t *testing.T) {
+	cfg := testConfig(t)
+	g := buildGraph(t, cfg, graphgen.Random(200, 800, 5), nil)
+	if _, err := DFSSCC(g, cfg.TempDir, DFSOptions{MaxIOs: 10}, cfg); err != ErrBudgetExceeded {
+		t.Fatalf("expected ErrBudgetExceeded, got %v", err)
+	}
+	if _, err := DFSSCC(g, cfg.TempDir, DFSOptions{MaxDuration: time.Nanosecond}, cfg); err != ErrBudgetExceeded {
+		t.Fatalf("expected ErrBudgetExceeded for the time cap, got %v", err)
+	}
+}
+
+func TestEMSCCConvergesOnSmallCyclicGraph(t *testing.T) {
+	cfg := testConfig(t)
+	// Two disjoint cycles plus a bridge: partition-local SCCs are found as
+	// long as a whole cycle fits in one partition.
+	edges := append(graphgen.Cycle(20), record.Edge{U: 5, V: 30})
+	for i := 30; i < 50; i++ {
+		next := i + 1
+		if next == 50 {
+			next = 30
+		}
+		edges = append(edges, record.Edge{U: record.NodeID(i), V: record.NodeID(next)})
+	}
+	g := buildGraph(t, cfg, edges, nil)
+	res, err := EMSCC(g, cfg.TempDir, EMOptions{PartitionEdges: 25}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("EM-SCC should converge on this workload")
+	}
+	got, err := recio.ReadAll(res.LabelPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := memgraph.FromEdges(edges, nil).Tarjan().Labels()
+	if !memgraph.SameSCCPartition(got, want) {
+		t.Fatal("EM-SCC labels do not match Tarjan")
+	}
+}
+
+func TestEMSCCDoesNotConvergeOnDAG(t *testing.T) {
+	cfg := testConfig(t)
+	// Case-2 of Section III: a DAG larger than memory has no SCC to contract,
+	// so EM-SCC cannot make progress.
+	edges := graphgen.DAGLayered(500, 1500, 2)
+	g := buildGraph(t, cfg, edges, nil)
+	res, err := EMSCC(g, cfg.TempDir, EMOptions{PartitionEdges: 100, MaxIterations: 8}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("EM-SCC should not converge on an out-of-memory DAG")
+	}
+	if res.LabelPath != "" {
+		t.Fatal("non-converged run should not report labels")
+	}
+}
+
+func TestEMSCCOptionsValidate(t *testing.T) {
+	if err := (EMOptions{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (EMOptions{PartitionEdges: -1}).Validate(); err == nil {
+		t.Fatal("expected an error for negative PartitionEdges")
+	}
+	if err := (EMOptions{MaxIterations: -1}).Validate(); err == nil {
+		t.Fatal("expected an error for negative MaxIterations")
+	}
+}
+
+func TestDiskArray(t *testing.T) {
+	cfg := testConfig(t)
+	arr, err := newDiskArray(cfg.TempDir, 4096, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arr.close()
+	for i := int64(0); i < 100; i++ {
+		if err := arr.setUint32(i, uint32(i*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(99); i >= 0; i-- {
+		v, err := arr.getUint32(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint32(i*7) {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*7)
+		}
+	}
+	if err := arr.setByte(4095, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	b, err := arr.getByte(4095)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0xAB {
+		t.Fatalf("byte = %x", b)
+	}
+	if cfg.Stats.Snapshot().RandomIOs() == 0 {
+		t.Fatal("disk array misses should be charged as random I/Os")
+	}
+}

@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"fmt"
+	"os"
+
+	"extscc/internal/blockio"
+	"extscc/internal/iomodel"
+)
+
+// diskArray is a fixed-size on-disk byte array accessed through a bounded
+// block cache.  It backs the visited flags and the spilled DFS stack of the
+// external DFS baseline: every cache miss is charged as a random I/O, which
+// is precisely the cost the paper attributes to DFS-based external SCC
+// computation.
+type diskArray struct {
+	f         *os.File
+	path      string
+	size      int64
+	blockSize int
+	cfg       iomodel.Config
+
+	cache    map[int64]*cachedBlock
+	order    []int64 // FIFO eviction order
+	capacity int
+}
+
+type cachedBlock struct {
+	data  []byte
+	dirty bool
+}
+
+// newDiskArray creates a zero-filled on-disk array of size bytes, caching at
+// most cacheBlocks blocks in memory.
+func newDiskArray(dir string, size int64, cacheBlocks int, cfg iomodel.Config) (*diskArray, error) {
+	path := blockio.TempFile(dir, "diskarray", cfg.Stats)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: create disk array: %w", err)
+	}
+	if size > 0 {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("baseline: truncate disk array: %w", err)
+		}
+	}
+	if cacheBlocks < 1 {
+		cacheBlocks = 1
+	}
+	return &diskArray{
+		f:         f,
+		path:      path,
+		size:      size,
+		blockSize: cfg.BlockSize,
+		cfg:       cfg,
+		cache:     make(map[int64]*cachedBlock),
+		capacity:  cacheBlocks,
+	}, nil
+}
+
+func (d *diskArray) block(offset int64) (*cachedBlock, error) {
+	idx := offset / int64(d.blockSize)
+	if b, ok := d.cache[idx]; ok {
+		return b, nil
+	}
+	if len(d.cache) >= d.capacity {
+		if err := d.evict(); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, d.blockSize)
+	n, err := d.f.ReadAt(buf, idx*int64(d.blockSize))
+	if err != nil && n == 0 && idx*int64(d.blockSize) < d.size {
+		return nil, fmt.Errorf("baseline: read disk array block %d: %w", idx, err)
+	}
+	// Fetching an arbitrary block of the array is a random read.
+	d.cfg.Stats.CountRead(d.blockSize, true)
+	b := &cachedBlock{data: buf}
+	d.cache[idx] = b
+	d.order = append(d.order, idx)
+	return b, nil
+}
+
+func (d *diskArray) evict() error {
+	idx := d.order[0]
+	d.order = d.order[1:]
+	b := d.cache[idx]
+	delete(d.cache, idx)
+	if b.dirty {
+		if _, err := d.f.WriteAt(b.data, idx*int64(d.blockSize)); err != nil {
+			return fmt.Errorf("baseline: write disk array block %d: %w", idx, err)
+		}
+		// Writing back an arbitrary block is a random write.
+		d.cfg.Stats.CountWrite(d.blockSize, true)
+	}
+	return nil
+}
+
+// getByte returns the byte at offset.
+func (d *diskArray) getByte(offset int64) (byte, error) {
+	b, err := d.block(offset)
+	if err != nil {
+		return 0, err
+	}
+	return b.data[offset%int64(d.blockSize)], nil
+}
+
+// setByte stores v at offset.
+func (d *diskArray) setByte(offset int64, v byte) error {
+	b, err := d.block(offset)
+	if err != nil {
+		return err
+	}
+	b.data[offset%int64(d.blockSize)] = v
+	b.dirty = true
+	return nil
+}
+
+// getUint32 reads a little-endian uint32 at the element index (4-byte slots).
+func (d *diskArray) getUint32(index int64) (uint32, error) {
+	var v uint32
+	for i := int64(0); i < 4; i++ {
+		b, err := d.getByte(index*4 + i)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// setUint32 writes a little-endian uint32 at the element index (4-byte slots).
+func (d *diskArray) setUint32(index int64, v uint32) error {
+	for i := int64(0); i < 4; i++ {
+		if err := d.setByte(index*4+i, byte(v>>(8*i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close removes the backing file.
+func (d *diskArray) close() error {
+	d.f.Close()
+	return blockio.Remove(d.path)
+}

@@ -1,0 +1,636 @@
+// Package bench regenerates the paper's evaluation (Section VIII): every
+// figure is an experiment that sweeps one parameter, runs the compared
+// algorithms (DFS-SCC, Ext-SCC, Ext-SCC-Op, and EM-SCC where relevant) on the
+// corresponding workload, and reports wall-clock time and the number of block
+// I/Os — the two quantities the paper plots.
+//
+// The workloads are scaled down from the paper's 25M–200M-node graphs (see
+// DESIGN.md); the harness preserves the relative shape of every figure: which
+// algorithm wins, by roughly what factor, and how the cost moves along the
+// swept parameter.  Runs that exceed their budget are reported as INF, like
+// the paper's 24-hour cap.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"extscc/internal/baseline"
+	"extscc/internal/core"
+	"extscc/internal/edgefile"
+	"extscc/internal/graphgen"
+	"extscc/internal/iomodel"
+	"extscc/internal/record"
+)
+
+// Algorithm names used in the measurement series, matching the paper's
+// legends.
+const (
+	AlgoDFS      = "DFS-SCC"
+	AlgoExt      = "Ext-SCC"
+	AlgoExtOp    = "Ext-SCC-Op"
+	AlgoEM       = "EM-SCC"
+	AlgoExtNoT2  = "Ext-SCC-Op/noType2"   // ablation: Type-2 dictionary disabled
+	AlgoExtNoMem = "Ext-SCC-Op/streamSemi" // ablation: in-memory final solve disabled
+)
+
+// Measurement is one data point of one figure series.
+type Measurement struct {
+	// Experiment is the experiment identifier (e.g. "fig6").
+	Experiment string
+	// Series is the algorithm name.
+	Series string
+	// X is the swept parameter value (e.g. "60%" or "M=V/4").
+	X string
+	// Duration is the wall-clock time of the run (0 when INF).
+	Duration time.Duration
+	// TotalIOs and RandomIOs are block-transfer counts (0 when INF).
+	TotalIOs  int64
+	RandomIOs int64
+	// Iterations is the number of contraction iterations (Ext-SCC variants).
+	Iterations int
+	// NumSCCs is the number of SCCs found (sanity check across algorithms).
+	NumSCCs int64
+	// INF marks a run that exceeded its budget (the paper's "INF" bars).
+	INF bool
+	// Note carries extra information (e.g. EM-SCC "did not converge").
+	Note string
+}
+
+// Config scales and caps the experiments.
+type Config struct {
+	// Scale divides the paper's size parameters (default 1000; larger values
+	// mean smaller, faster experiments).
+	Scale int
+	// TempDir is where graphs and intermediate files are written.
+	TempDir string
+	// DFSBudget caps each DFS-SCC run; exceeding it reports INF (default 30s).
+	DFSBudget time.Duration
+	// DFSMaxIOs caps each DFS-SCC run by I/O count (default 2,000,000).
+	DFSMaxIOs int64
+	// Quick shrinks every workload further (used by the testing.B benches and
+	// by -quick) so a full sweep finishes in seconds.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1000
+	}
+	if c.DFSBudget <= 0 {
+		c.DFSBudget = 30 * time.Second
+	}
+	if c.DFSMaxIOs <= 0 {
+		c.DFSMaxIOs = 2_000_000
+	}
+	if c.TempDir == "" {
+		c.TempDir = os.TempDir()
+	}
+	return c
+}
+
+// ioConfig builds the I/O-model configuration for one run.
+func (c Config) ioConfig(nodeBudget int64) iomodel.Config {
+	return iomodel.Config{
+		BlockSize:  iomodel.DefaultBlockSize,
+		Memory:     iomodel.DefaultMemory,
+		NodeBudget: nodeBudget,
+		TempDir:    c.TempDir,
+		Stats:      &iomodel.Stats{},
+	}
+}
+
+// Experiments lists the experiment identifiers in paper order.
+func Experiments() []string {
+	return []string{
+		"table1", "fig6", "fig7",
+		"fig8a", "fig8c", "fig8e",
+		"fig9a", "fig9c", "fig9e", "fig9g",
+		"emscc", "ablation",
+	}
+}
+
+// Run executes one experiment and returns its measurements.
+func Run(experiment string, c Config) ([]Measurement, error) {
+	c = c.withDefaults()
+	switch experiment {
+	case "table1":
+		return table1(c)
+	case "fig6":
+		return fig6(c)
+	case "fig7":
+		return fig7(c)
+	case "fig8a":
+		return fig8(c, "fig8a", graphgen.MassiveSCCParams(c.Scale))
+	case "fig8c":
+		return fig8(c, "fig8c", graphgen.LargeSCCParams(c.Scale))
+	case "fig8e":
+		return fig8(c, "fig8e", graphgen.SmallSCCParams(c.Scale))
+	case "fig9a":
+		return fig9Nodes(c)
+	case "fig9c":
+		return fig9Degree(c)
+	case "fig9e":
+		return fig9SCCSize(c)
+	case "fig9g":
+		return fig9SCCCount(c)
+	case "emscc":
+		return emscc(c)
+	case "ablation":
+		return ablation(c)
+	default:
+		return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)", experiment, strings.Join(Experiments(), ", "))
+	}
+}
+
+// RunAll executes every experiment.
+func RunAll(c Config) ([]Measurement, error) {
+	var all []Measurement
+	for _, exp := range Experiments() {
+		ms, err := Run(exp, c)
+		if err != nil {
+			return all, fmt.Errorf("bench: experiment %s: %w", exp, err)
+		}
+		all = append(all, ms...)
+	}
+	return all, nil
+}
+
+// ---------------------------------------------------------------------------
+// Workload materialisation
+// ---------------------------------------------------------------------------
+
+// onDiskGraph materialises a generated edge stream as an edgefile.Graph.
+func onDiskGraph(c Config, write func(path string, cfg iomodel.Config) (int64, error), numNodes int) (edgefile.Graph, func(), error) {
+	genCfg := c.ioConfig(0)
+	edgePath := fmt.Sprintf("%s/bench-edges-%d.bin", c.TempDir, time.Now().UnixNano())
+	if _, err := write(edgePath, genCfg); err != nil {
+		return edgefile.Graph{}, nil, err
+	}
+	nodes := make([]record.NodeID, numNodes)
+	for i := range nodes {
+		nodes[i] = record.NodeID(i)
+	}
+	g, err := edgefile.GraphFromEdgeFile(edgePath, c.TempDir, nodes, genCfg)
+	if err != nil {
+		return edgefile.Graph{}, nil, err
+	}
+	cleanup := func() {
+		os.Remove(g.EdgePath)
+		os.Remove(g.NodePath)
+	}
+	return g, cleanup, nil
+}
+
+func syntheticGraph(c Config, p graphgen.SyntheticParams) (edgefile.Graph, func(), error) {
+	return onDiskGraph(c, p.WriteTo, p.NumNodes)
+}
+
+func webGraph(c Config, p graphgen.WebGraphParams) (edgefile.Graph, func(), error) {
+	return onDiskGraph(c, p.WriteTo, p.NumNodes)
+}
+
+func (c Config) webParams() graphgen.WebGraphParams {
+	p := graphgen.DefaultWebGraphParams()
+	if c.Quick {
+		p.NumNodes = 6000
+		p.AvgDegree = 8
+	}
+	return p
+}
+
+func (c Config) syntheticQuick(p graphgen.SyntheticParams) graphgen.SyntheticParams {
+	if !c.Quick {
+		return p
+	}
+	shrink := p.NumNodes / 5000
+	if shrink < 1 {
+		shrink = 1
+	}
+	p.NumNodes /= shrink
+	if p.MassiveSCCSize > p.NumNodes/4 {
+		p.MassiveSCCSize = p.NumNodes / 4
+	}
+	for p.LargeSCCSize*p.LargeSCCCount > p.NumNodes/2 && p.LargeSCCCount > 1 {
+		p.LargeSCCCount /= 2
+	}
+	for p.SmallSCCSize*p.SmallSCCCount > p.NumNodes/2 && p.SmallSCCCount > 1 {
+		p.SmallSCCCount /= 2
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm runners
+// ---------------------------------------------------------------------------
+
+// runSuite runs DFS-SCC, Ext-SCC and Ext-SCC-Op on g with the given node
+// budget and appends one measurement per algorithm.
+func runSuite(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64) ([]Measurement, error) {
+	var out []Measurement
+	m, err := runExt(c, experiment, x, g, nodeBudget, core.Options{Optimized: false}, AlgoExt)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, m)
+	m, err = runExt(c, experiment, x, g, nodeBudget, core.Options{Optimized: true}, AlgoExtOp)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, m)
+	out = append(out, runDFS(c, experiment, x, g, nodeBudget))
+	return out, nil
+}
+
+func runExt(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64, opts core.Options, series string) (Measurement, error) {
+	cfg := c.ioConfig(nodeBudget)
+	res, err := core.ExtSCC(g, c.TempDir, opts, cfg)
+	if err != nil {
+		return Measurement{}, err
+	}
+	defer res.Cleanup()
+	return Measurement{
+		Experiment: experiment,
+		Series:     series,
+		X:          x,
+		Duration:   res.Duration,
+		TotalIOs:   res.IO.TotalIOs(),
+		RandomIOs:  res.IO.RandomIOs(),
+		Iterations: len(res.Iterations),
+		NumSCCs:    res.NumSCCs,
+	}, nil
+}
+
+func runDFS(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64) Measurement {
+	cfg := c.ioConfig(nodeBudget)
+	budget := c.DFSBudget
+	maxIOs := c.DFSMaxIOs
+	if c.Quick {
+		if budget > 2*time.Second {
+			budget = 2 * time.Second
+		}
+		if maxIOs > 200_000 {
+			maxIOs = 200_000
+		}
+	}
+	res, err := baseline.DFSSCC(g, c.TempDir, baseline.DFSOptions{MaxDuration: budget, MaxIOs: maxIOs}, cfg)
+	if err == baseline.ErrBudgetExceeded {
+		return Measurement{Experiment: experiment, Series: AlgoDFS, X: x, INF: true, Note: "exceeded budget"}
+	}
+	if err != nil {
+		return Measurement{Experiment: experiment, Series: AlgoDFS, X: x, INF: true, Note: err.Error()}
+	}
+	defer os.Remove(res.LabelPath)
+	return Measurement{
+		Experiment: experiment,
+		Series:     AlgoDFS,
+		X:          x,
+		Duration:   res.Duration,
+		TotalIOs:   res.IO.TotalIOs(),
+		RandomIOs:  res.IO.RandomIOs(),
+		NumSCCs:    res.NumSCCs,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Experiments
+// ---------------------------------------------------------------------------
+
+// table1 reports the realised (scaled) generator parameters of Table I.
+func table1(c Config) ([]Measurement, error) {
+	note := func(p graphgen.SyntheticParams) string {
+		return fmt.Sprintf("|V|=%d D=%d massive=%dx%d large=%dx%d small=%dx%d",
+			p.NumNodes, p.AvgDegree,
+			p.MassiveSCCCount, p.MassiveSCCSize,
+			p.LargeSCCCount, p.LargeSCCSize,
+			p.SmallSCCCount, p.SmallSCCSize)
+	}
+	return []Measurement{
+		{Experiment: "table1", Series: "Massive-SCC", X: fmt.Sprintf("scale=%d", c.Scale), Note: note(graphgen.MassiveSCCParams(c.Scale))},
+		{Experiment: "table1", Series: "Large-SCC", X: fmt.Sprintf("scale=%d", c.Scale), Note: note(graphgen.LargeSCCParams(c.Scale))},
+		{Experiment: "table1", Series: "Small-SCC", X: fmt.Sprintf("scale=%d", c.Scale), Note: note(graphgen.SmallSCCParams(c.Scale))},
+	}, nil
+}
+
+// fig6 varies the fraction of web-graph edges from 20% to 100% with a fixed
+// memory budget (Fig. 6a time, Fig. 6b I/Os).
+func fig6(c Config) ([]Measurement, error) {
+	p := c.webParams()
+	full, cleanup, err := webGraph(c, p)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	genCfg := c.ioConfig(0)
+	budget := int64(p.NumNodes) / 4
+
+	var out []Measurement
+	for _, pct := range []int{20, 40, 60, 80, 100} {
+		sampled := full
+		var sampledCleanup func()
+		if pct < 100 {
+			path := fmt.Sprintf("%s/bench-fig6-%d.bin", c.TempDir, pct)
+			if _, err := graphgen.SampleEdges(full.EdgePath, path, pct, int64(pct), genCfg); err != nil {
+				return nil, err
+			}
+			nodes := make([]record.NodeID, p.NumNodes)
+			for i := range nodes {
+				nodes[i] = record.NodeID(i)
+			}
+			sampled, err = edgefile.GraphFromEdgeFile(path, c.TempDir, nodes, genCfg)
+			if err != nil {
+				return nil, err
+			}
+			sampledCleanup = func() { os.Remove(path); os.Remove(sampled.NodePath) }
+		}
+		ms, err := runSuite(c, "fig6", fmt.Sprintf("%d%%", pct), sampled, budget)
+		if sampledCleanup != nil {
+			sampledCleanup()
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// memorySweep runs the suite for a list of node-budget fractions of |V|.
+func memorySweep(c Config, experiment string, g edgefile.Graph, numNodes int, fracs []float64) ([]Measurement, error) {
+	var out []Measurement
+	for _, f := range fracs {
+		budget := int64(float64(numNodes) * f)
+		if budget < 2 {
+			budget = 2
+		}
+		label := fmt.Sprintf("M=%.2f|V|", f)
+		ms, err := runSuite(c, experiment, label, g, budget)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// fig7 varies the memory budget on the web graph, including a budget larger
+// than |V| where no contraction iteration is needed (the cliff of Fig. 7).
+func fig7(c Config) ([]Measurement, error) {
+	p := c.webParams()
+	g, cleanup, err := webGraph(c, p)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	return memorySweep(c, "fig7", g, p.NumNodes, []float64{0.25, 0.5, 0.75, 1.25})
+}
+
+// fig8 varies the memory budget on one synthetic dataset family (Fig. 8).
+func fig8(c Config, experiment string, p graphgen.SyntheticParams) ([]Measurement, error) {
+	p = c.syntheticQuick(p)
+	g, cleanup, err := syntheticGraph(c, p)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	return memorySweep(c, experiment, g, p.NumNodes, []float64{0.125, 0.25, 0.375, 0.5, 0.75})
+}
+
+// fig9Nodes varies |V| on the Large-SCC dataset (Fig. 9a/9b).
+func fig9Nodes(c Config) ([]Measurement, error) {
+	base := c.syntheticQuick(graphgen.LargeSCCParams(c.Scale))
+	var out []Measurement
+	for _, frac := range []float64{0.25, 0.5, 1.0, 1.5, 2.0} {
+		p := base
+		p.NumNodes = int(float64(base.NumNodes) * frac)
+		g, cleanup, err := syntheticGraph(c, p)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := runSuite(c, "fig9a", fmt.Sprintf("|V|=%d", p.NumNodes), g, int64(base.NumNodes)/4)
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// fig9Degree varies the average degree from 2 to 6 (Fig. 9c/9d).
+func fig9Degree(c Config) ([]Measurement, error) {
+	base := c.syntheticQuick(graphgen.LargeSCCParams(c.Scale))
+	var out []Measurement
+	for _, d := range []int{2, 3, 4, 5, 6} {
+		p := base
+		p.AvgDegree = d
+		g, cleanup, err := syntheticGraph(c, p)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := runSuite(c, "fig9c", fmt.Sprintf("D=%d", d), g, int64(p.NumNodes)/4)
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// fig9SCCSize varies the planted SCC size (Fig. 9e/9f).
+func fig9SCCSize(c Config) ([]Measurement, error) {
+	base := c.syntheticQuick(graphgen.LargeSCCParams(c.Scale))
+	var out []Measurement
+	for _, mult := range []float64{0.5, 0.75, 1.0, 1.25, 1.5} {
+		p := base
+		p.LargeSCCSize = int(float64(base.LargeSCCSize) * mult)
+		if p.LargeSCCSize < 2 {
+			p.LargeSCCSize = 2
+		}
+		g, cleanup, err := syntheticGraph(c, p)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := runSuite(c, "fig9e", fmt.Sprintf("size=%d", p.LargeSCCSize), g, int64(p.NumNodes)/4)
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// fig9SCCCount varies the number of planted SCCs from 30 to 70 (Fig. 9g/9h).
+func fig9SCCCount(c Config) ([]Measurement, error) {
+	base := c.syntheticQuick(graphgen.LargeSCCParams(c.Scale))
+	var out []Measurement
+	for _, count := range []int{30, 40, 50, 60, 70} {
+		p := base
+		p.LargeSCCCount = count
+		for p.LargeSCCSize*p.LargeSCCCount > p.NumNodes/2 && p.LargeSCCSize > 2 {
+			p.LargeSCCSize /= 2
+		}
+		g, cleanup, err := syntheticGraph(c, p)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := runSuite(c, "fig9g", fmt.Sprintf("#SCC=%d", count), g, int64(p.NumNodes)/4)
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// emscc demonstrates the non-termination cases of Section III: a DAG-like
+// graph (Case-2) and the Large-SCC graph whose components straddle
+// partitions (Case-1).
+func emscc(c Config) ([]Measurement, error) {
+	var out []Measurement
+	run := func(x string, g edgefile.Graph, partitionEdges int) error {
+		cfg := c.ioConfig(0)
+		res, err := baseline.EMSCC(g, c.TempDir, baseline.EMOptions{
+			PartitionEdges: partitionEdges,
+			MaxIterations:  16,
+			MaxDuration:    c.DFSBudget,
+		}, cfg)
+		if err != nil {
+			return err
+		}
+		m := Measurement{
+			Experiment: "emscc",
+			Series:     AlgoEM,
+			X:          x,
+			Duration:   res.Duration,
+			TotalIOs:   res.IO.TotalIOs(),
+			RandomIOs:  res.IO.RandomIOs(),
+			Iterations: res.Iterations,
+			NumSCCs:    res.NumSCCs,
+		}
+		if !res.Converged {
+			m.INF = true
+			m.Note = "did not converge"
+		}
+		if res.LabelPath != "" {
+			os.Remove(res.LabelPath)
+		}
+		out = append(out, m)
+		return nil
+	}
+
+	n := 20000
+	if c.Quick {
+		n = 3000
+	}
+	genCfg := c.ioConfig(0)
+	dagEdges := graphgen.DAGLayered(n, n*3, 1)
+	dag, err := edgefile.WriteGraph(c.TempDir, dagEdges, nil, genCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer dag.Remove()
+	if err := run("DAG (Case-2)", dag, n/2); err != nil {
+		return nil, err
+	}
+
+	p := c.syntheticQuick(graphgen.LargeSCCParams(c.Scale))
+	g, cleanup, err := syntheticGraph(c, p)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	if err := run("Large-SCC (Case-1)", g, p.NumNodes/2); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ablation toggles the Section VII design choices on the Large-SCC default
+// workload: plain Ext-SCC, full Ext-SCC-Op, Ext-SCC-Op with the Type-2
+// dictionary disabled, and Ext-SCC-Op with the in-memory final solve
+// disabled.
+func ablation(c Config) ([]Measurement, error) {
+	p := c.syntheticQuick(graphgen.LargeSCCParams(c.Scale))
+	g, cleanup, err := syntheticGraph(c, p)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	budget := int64(p.NumNodes) / 4
+	variants := []struct {
+		series string
+		opts   core.Options
+	}{
+		{AlgoExt, core.Options{Optimized: false}},
+		{AlgoExtOp, core.Options{Optimized: true}},
+		{AlgoExtNoT2, core.Options{Optimized: true, Type2DictSize: 1}},
+		{AlgoExtNoMem, core.Options{Optimized: true, ForceStreamingSemi: true}},
+	}
+	var out []Measurement
+	for _, v := range variants {
+		m, err := runExt(c, "ablation", "Large-SCC default", g, budget, v.opts, v.series)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+// FormatTable renders measurements as an aligned text table grouped by
+// experiment, in the style of the paper's figures.
+func FormatTable(ms []Measurement) string {
+	var b strings.Builder
+	byExp := map[string][]Measurement{}
+	var order []string
+	for _, m := range ms {
+		if _, ok := byExp[m.Experiment]; !ok {
+			order = append(order, m.Experiment)
+		}
+		byExp[m.Experiment] = append(byExp[m.Experiment], m)
+	}
+	sort.Strings(order)
+	for _, exp := range order {
+		fmt.Fprintf(&b, "== %s ==\n", exp)
+		fmt.Fprintf(&b, "%-28s %-22s %12s %12s %12s %6s %10s %s\n",
+			"x", "algorithm", "time", "IOs", "randomIOs", "iters", "#SCC", "note")
+		for _, m := range byExp[exp] {
+			timeStr := m.Duration.Round(time.Millisecond).String()
+			iosStr := fmt.Sprintf("%d", m.TotalIOs)
+			if m.INF {
+				timeStr, iosStr = "INF", "INF"
+			}
+			fmt.Fprintf(&b, "%-28s %-22s %12s %12s %12d %6d %10d %s\n",
+				m.X, m.Series, timeStr, iosStr, m.RandomIOs, m.Iterations, m.NumSCCs, m.Note)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// WriteCSV writes measurements as CSV for plotting.
+func WriteCSV(w io.Writer, ms []Measurement) error {
+	if _, err := fmt.Fprintln(w, "experiment,x,algorithm,duration_ms,total_ios,random_ios,iterations,num_sccs,inf,note"); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%t,%q\n",
+			m.Experiment, m.X, m.Series, m.Duration.Milliseconds(), m.TotalIOs, m.RandomIOs,
+			m.Iterations, m.NumSCCs, m.INF, m.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}

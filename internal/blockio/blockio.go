@@ -1,0 +1,253 @@
+// Package blockio provides block-buffered, I/O-counted access to on-disk
+// files.  Every read and write performed by the external algorithms in this
+// repository goes through this package so that the number of block transfers
+// (and whether they are sequential or random) is measured exactly as in the
+// I/O model of the paper.
+package blockio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"extscc/internal/iomodel"
+)
+
+// ErrClosed is returned by operations on a closed Reader or Writer.
+var ErrClosed = errors.New("blockio: file already closed")
+
+var tempSeq atomic.Int64
+
+// TempFile returns a unique path for an intermediate file under dir (or the
+// system temp directory when dir is empty).  The file is not created; callers
+// pass the path to NewWriter.  The stats counter records the file creation.
+func TempFile(dir, prefix string, stats *iomodel.Stats) string {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	n := tempSeq.Add(1)
+	stats.CountFile()
+	return filepath.Join(dir, fmt.Sprintf("%s-%06d.bin", prefix, n))
+}
+
+// Writer writes a file in blocks of the configured size, counting one write
+// I/O per flushed block.  Writer is not safe for concurrent use.
+type Writer struct {
+	f         *os.File
+	buf       []byte
+	n         int
+	blockSize int
+	stats     *iomodel.Stats
+	written   int64
+	closed    bool
+}
+
+// NewWriter creates (truncating) the file at path and returns a Writer using
+// block size cfg.BlockSize, charging I/Os to cfg.Stats.
+func NewWriter(path string, cfg iomodel.Config) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("blockio: create %s: %w", path, err)
+	}
+	bs := cfg.BlockSize
+	if bs <= 0 {
+		bs = iomodel.DefaultBlockSize
+	}
+	return &Writer{f: f, buf: make([]byte, bs), blockSize: bs, stats: cfg.Stats}, nil
+}
+
+// Write appends p to the file, flushing full blocks as they fill.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, ErrClosed
+	}
+	total := 0
+	for len(p) > 0 {
+		c := copy(w.buf[w.n:], p)
+		w.n += c
+		p = p[c:]
+		total += c
+		if w.n == w.blockSize {
+			if err := w.flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (w *Writer) flush() error {
+	if w.n == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.buf[:w.n]); err != nil {
+		return fmt.Errorf("blockio: write %s: %w", w.f.Name(), err)
+	}
+	// Writes of a Writer are always appends and therefore sequential.
+	w.stats.CountWrite(w.n, false)
+	w.written += int64(w.n)
+	w.n = 0
+	return nil
+}
+
+// BytesWritten reports the number of payload bytes accepted so far (including
+// bytes still in the buffer).
+func (w *Writer) BytesWritten() int64 { return w.written + int64(w.n) }
+
+// Name returns the underlying file path.
+func (w *Writer) Name() string { return w.f.Name() }
+
+// Close flushes the final partial block and closes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("blockio: close %s: %w", w.f.Name(), err)
+	}
+	return nil
+}
+
+// Reader reads a file in blocks of the configured size, counting one read I/O
+// per block fetched.  A read that does not immediately follow the previously
+// fetched block (because Seek moved the position) is counted as random.
+// Reader is not safe for concurrent use.
+type Reader struct {
+	f          *os.File
+	buf        []byte
+	r, n       int
+	blockSize  int
+	stats      *iomodel.Stats
+	fileOffset int64 // offset of the byte after the buffered data
+	nextSeq    int64 // file offset at which the next read is sequential
+	size       int64
+	closed     bool
+}
+
+// NewReader opens the file at path for block-buffered reading.
+func NewReader(path string, cfg iomodel.Config) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("blockio: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("blockio: stat %s: %w", path, err)
+	}
+	bs := cfg.BlockSize
+	if bs <= 0 {
+		bs = iomodel.DefaultBlockSize
+	}
+	return &Reader{f: f, buf: make([]byte, bs), blockSize: bs, stats: cfg.Stats, size: st.Size()}, nil
+}
+
+// Size returns the total size of the underlying file in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// Name returns the underlying file path.
+func (r *Reader) Name() string { return r.f.Name() }
+
+func (r *Reader) fill() error {
+	if r.r < r.n {
+		return nil
+	}
+	if r.fileOffset >= r.size {
+		return io.EOF
+	}
+	random := r.fileOffset != r.nextSeq
+	n, err := r.f.ReadAt(r.buf, r.fileOffset)
+	if n == 0 {
+		if err == io.EOF || err == nil {
+			return io.EOF
+		}
+		return fmt.Errorf("blockio: read %s: %w", r.f.Name(), err)
+	}
+	r.stats.CountRead(n, random)
+	r.r, r.n = 0, n
+	r.fileOffset += int64(n)
+	r.nextSeq = r.fileOffset
+	return nil
+}
+
+// Read implements io.Reader over the block buffer.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, ErrClosed
+	}
+	if err := r.fill(); err != nil {
+		return 0, err
+	}
+	c := copy(p, r.buf[r.r:r.n])
+	r.r += c
+	return c, nil
+}
+
+// ReadFull fills p entirely or returns io.EOF (no partial-record reads occur
+// when the file contains whole fixed-size records) or io.ErrUnexpectedEOF.
+func (r *Reader) ReadFull(p []byte) error {
+	got := 0
+	for got < len(p) {
+		n, err := r.Read(p[got:])
+		got += n
+		if err != nil {
+			if err == io.EOF && got == 0 {
+				return io.EOF
+			}
+			if err == io.EOF {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Seek repositions the reader to the absolute offset.  The next block fetch
+// is counted as a random I/O unless the offset continues the previous block.
+func (r *Reader) SeekTo(offset int64) error {
+	if r.closed {
+		return ErrClosed
+	}
+	if offset < 0 {
+		return fmt.Errorf("blockio: negative seek offset %d", offset)
+	}
+	r.r, r.n = 0, 0
+	r.fileOffset = offset
+	return nil
+}
+
+// Offset returns the file offset of the next byte Read will return.
+func (r *Reader) Offset() int64 {
+	return r.fileOffset - int64(r.n-r.r)
+}
+
+// Close closes the underlying file.
+func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if err := r.f.Close(); err != nil {
+		return fmt.Errorf("blockio: close %s: %w", r.f.Name(), err)
+	}
+	return nil
+}
+
+// Remove deletes the file at path, ignoring not-exist errors.  It is the
+// cleanup helper used for intermediate files.
+func Remove(path string) error {
+	err := os.Remove(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Package brt implements a buffered repository tree (BRT), the external data
+// structure of Buchsbaum et al. [8] that the DFS-SCC baseline relies on.  A
+// BRT stores (key, value) messages and supports two operations:
+//
+//   - Insert(key, value): O(1/B * log(N/B)) amortised I/Os, because messages
+//     are buffered in memory and flushed to key-partitioned buckets in blocks.
+//   - ExtractAll(key): returns and removes every value stored under key,
+//     paying roughly one random access to the key's bucket.
+//
+// This implementation uses a single level of key-range buckets instead of a
+// full (2,4)-tree: inserts are buffered in memory and appended to the bucket
+// covering the key, extracts read and rewrite one bucket.  The I/O behaviour
+// (buffered, mostly-sequential inserts; random-access extracts) is what the
+// DFS baseline needs to exhibit the cost profile discussed in Section III.
+package brt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"extscc/internal/blockio"
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+// Message is one (key, value) pair stored in the tree.
+type Message struct {
+	Key   uint32
+	Value uint32
+}
+
+// messageCodec is the 8-byte on-disk codec for Message.
+type messageCodec struct{}
+
+func (messageCodec) Size() int { return 8 }
+func (messageCodec) Encode(m Message, dst []byte) {
+	binary.LittleEndian.PutUint32(dst[0:4], m.Key)
+	binary.LittleEndian.PutUint32(dst[4:8], m.Value)
+}
+func (messageCodec) Decode(src []byte) Message {
+	return Message{
+		Key:   binary.LittleEndian.Uint32(src[0:4]),
+		Value: binary.LittleEndian.Uint32(src[4:8]),
+	}
+}
+
+var _ record.Codec[Message] = messageCodec{}
+
+// Tree is a buffered repository tree over uint32 keys in [0, maxKey].
+// It is not safe for concurrent use.
+type Tree struct {
+	cfg       iomodel.Config
+	dir       string
+	maxKey    uint32
+	buckets   int
+	bufferCap int
+	buffer    []Message
+	paths     []string
+	counts    []int64
+	inserted  int64
+	extracted int64
+}
+
+// Options configures a Tree.
+type Options struct {
+	// Buckets is the number of key-range buckets (0 = 64).
+	Buckets int
+	// BufferCap is the number of messages buffered in memory before a flush
+	// (0 = derive from the memory budget).
+	BufferCap int
+}
+
+// New creates an empty tree for keys in [0, maxKey], storing its buckets in
+// dir.
+func New(maxKey uint32, dir string, opts Options, cfg iomodel.Config) *Tree {
+	buckets := opts.Buckets
+	if buckets <= 0 {
+		buckets = 64
+	}
+	bufferCap := opts.BufferCap
+	if bufferCap <= 0 {
+		bufferCap = int(cfg.Memory / 4 / 8)
+		if bufferCap < 64 {
+			bufferCap = 64
+		}
+	}
+	return &Tree{
+		cfg:       cfg,
+		dir:       dir,
+		maxKey:    maxKey,
+		buckets:   buckets,
+		bufferCap: bufferCap,
+		paths:     make([]string, buckets),
+		counts:    make([]int64, buckets),
+	}
+}
+
+// bucketOf maps a key to its bucket index.
+func (t *Tree) bucketOf(key uint32) int {
+	span := uint64(t.maxKey) + 1
+	b := int(uint64(key) * uint64(t.buckets) / span)
+	if b >= t.buckets {
+		b = t.buckets - 1
+	}
+	return b
+}
+
+// Insert buffers one message.
+func (t *Tree) Insert(key, value uint32) error {
+	if key > t.maxKey {
+		return fmt.Errorf("brt: key %d exceeds maxKey %d", key, t.maxKey)
+	}
+	t.buffer = append(t.buffer, Message{Key: key, Value: value})
+	t.inserted++
+	if len(t.buffer) >= t.bufferCap {
+		return t.Flush()
+	}
+	return nil
+}
+
+// Flush appends the in-memory buffer to the on-disk buckets.
+func (t *Tree) Flush() error {
+	if len(t.buffer) == 0 {
+		return nil
+	}
+	// Group the buffer by bucket so each bucket is appended once.
+	sort.Slice(t.buffer, func(i, j int) bool { return t.buffer[i].Key < t.buffer[j].Key })
+	i := 0
+	for i < len(t.buffer) {
+		b := t.bucketOf(t.buffer[i].Key)
+		j := i
+		for j < len(t.buffer) && t.bucketOf(t.buffer[j].Key) == b {
+			j++
+		}
+		if err := t.appendBucket(b, t.buffer[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	t.buffer = t.buffer[:0]
+	return nil
+}
+
+// appendBucket rewrites bucket b with its existing content plus msgs.  The
+// rewrite is what makes bucket access a random I/O in the model: the bucket
+// lives at its own location on disk, away from the sequential write frontier.
+func (t *Tree) appendBucket(b int, msgs []Message) error {
+	existing, err := t.readBucket(b)
+	if err != nil {
+		return err
+	}
+	existing = append(existing, msgs...)
+	return t.writeBucket(b, existing)
+}
+
+func (t *Tree) readBucket(b int) ([]Message, error) {
+	if t.paths[b] == "" || t.counts[b] == 0 {
+		return nil, nil
+	}
+	// Bucket reads jump to an arbitrary file, i.e. a random access.
+	t.cfg.Stats.CountRead(int(t.counts[b])*8, true)
+	return recio.ReadAll(t.paths[b], messageCodec{}, t.noCountCfg())
+}
+
+func (t *Tree) writeBucket(b int, msgs []Message) error {
+	if t.paths[b] == "" {
+		t.paths[b] = blockio.TempFile(t.dir, fmt.Sprintf("brt-bucket-%03d", b), t.cfg.Stats)
+	}
+	t.cfg.Stats.CountWrite(len(msgs)*8, true)
+	if err := recio.WriteSlice(t.paths[b], messageCodec{}, t.noCountCfg(), msgs); err != nil {
+		return err
+	}
+	t.counts[b] = int64(len(msgs))
+	return nil
+}
+
+// noCountCfg returns a config whose Stats is detached, because readBucket and
+// writeBucket charge the model cost themselves (one random access per bucket
+// touch) rather than per block.
+func (t *Tree) noCountCfg() iomodel.Config {
+	c := t.cfg
+	c.Stats = &iomodel.Stats{}
+	return c
+}
+
+// ExtractAll removes and returns every value stored under key.
+func (t *Tree) ExtractAll(key uint32) ([]uint32, error) {
+	if err := t.Flush(); err != nil {
+		return nil, err
+	}
+	b := t.bucketOf(key)
+	msgs, err := t.readBucket(b)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint32
+	kept := msgs[:0]
+	for _, m := range msgs {
+		if m.Key == key {
+			out = append(out, m.Value)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	t.extracted += int64(len(out))
+	if err := t.writeBucket(b, kept); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Len returns the number of messages currently stored (buffered or on disk).
+func (t *Tree) Len() int64 { return t.inserted - t.extracted }
+
+// Close deletes the bucket files.
+func (t *Tree) Close() error {
+	for _, p := range t.paths {
+		if p != "" {
+			if err := blockio.Remove(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

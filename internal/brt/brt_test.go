@@ -1,0 +1,133 @@
+package brt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"extscc/internal/iomodel"
+)
+
+func testConfig(t *testing.T) iomodel.Config {
+	t.Helper()
+	return iomodel.Config{BlockSize: 256, Memory: 4096, TempDir: t.TempDir(), Stats: &iomodel.Stats{}}
+}
+
+func TestInsertExtract(t *testing.T) {
+	cfg := testConfig(t)
+	tree := New(1000, cfg.TempDir, Options{}, cfg)
+	defer tree.Close()
+	for i := uint32(0); i < 100; i++ {
+		if err := tree.Insert(i%10, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tree.Len())
+	}
+	vals, err := tree.ExtractAll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 10 {
+		t.Fatalf("ExtractAll(3) returned %d values, want 10", len(vals))
+	}
+	for _, v := range vals {
+		if v%10 != 3 {
+			t.Fatalf("value %d does not belong to key 3", v)
+		}
+	}
+	// Extracted messages are removed.
+	again, err := tree.ExtractAll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second ExtractAll(3) returned %d values, want 0", len(again))
+	}
+	if tree.Len() != 90 {
+		t.Fatalf("Len after extraction = %d, want 90", tree.Len())
+	}
+}
+
+func TestExtractMissingKey(t *testing.T) {
+	cfg := testConfig(t)
+	tree := New(100, cfg.TempDir, Options{}, cfg)
+	defer tree.Close()
+	vals, err := tree.ExtractAll(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals != nil {
+		t.Fatalf("expected nil for a missing key, got %v", vals)
+	}
+}
+
+func TestInsertKeyOutOfRange(t *testing.T) {
+	cfg := testConfig(t)
+	tree := New(10, cfg.TempDir, Options{}, cfg)
+	defer tree.Close()
+	if err := tree.Insert(11, 1); err == nil {
+		t.Fatal("expected an error for a key above maxKey")
+	}
+}
+
+func TestSmallBufferForcesFlushes(t *testing.T) {
+	cfg := testConfig(t)
+	tree := New(1000, cfg.TempDir, Options{Buckets: 4, BufferCap: 8}, cfg)
+	defer tree.Close()
+	for i := uint32(0); i < 200; i++ {
+		if err := tree.Insert(i, i*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for key := uint32(0); key < 200; key += 37 {
+		vals, err := tree.ExtractAll(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 || vals[0] != key*2 {
+			t.Fatalf("ExtractAll(%d) = %v", key, vals)
+		}
+	}
+	// Bucket accesses must have been charged as random I/Os.
+	if cfg.Stats.Snapshot().RandomIOs() == 0 {
+		t.Fatal("expected random I/Os from bucket accesses")
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	codec := messageCodec{}
+	f := func(k, v uint32) bool {
+		buf := make([]byte, codec.Size())
+		codec.Encode(Message{Key: k, Value: v}, buf)
+		return codec.Decode(buf) == Message{Key: k, Value: v}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllMessagesSurviveProperty(t *testing.T) {
+	cfg := testConfig(t)
+	f := func(keys []uint8) bool {
+		tree := New(255, cfg.TempDir, Options{Buckets: 8, BufferCap: 4}, cfg)
+		defer tree.Close()
+		counts := map[uint32]int{}
+		for i, k := range keys {
+			if err := tree.Insert(uint32(k), uint32(i)); err != nil {
+				return false
+			}
+			counts[uint32(k)]++
+		}
+		for k, want := range counts {
+			vals, err := tree.ExtractAll(k)
+			if err != nil || len(vals) != want {
+				return false
+			}
+		}
+		return tree.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

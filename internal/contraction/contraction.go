@@ -1,0 +1,622 @@
+// Package contraction implements the graph-contraction phase of Ext-SCC
+// (Section V of the paper): Get-V (Algorithm 3) selects the nodes V_{i+1} of
+// the contracted graph as a vertex cover of G_i under the degree-based ">"
+// operator, and Get-E (Algorithm 4) rewires the edges so that the contracted
+// graph G_{i+1} is SCC-preservable.  The Section VII optimisations (Type-1 /
+// Type-2 node reduction, parallel-edge and self-loop elimination, and the
+// refined ">" operator) are enabled through Options.Optimized.
+//
+// Every step is a sequential scan, a merge join of sorted files, or an
+// external sort, so the phase performs no random I/O.
+package contraction
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+
+	"extscc/internal/blockio"
+	"extscc/internal/edgefile"
+	"extscc/internal/extsort"
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+// Options selects the algorithm variant.
+type Options struct {
+	// Optimized enables the Section VII optimisations (Ext-SCC-Op): Type-1
+	// and Type-2 node reduction, parallel-edge and self-loop elimination, and
+	// the refined ">" operator of Definition 7.1.
+	Optimized bool
+	// Type2DictSize bounds the in-memory dictionary used for Type-2 node
+	// reduction.  Zero derives a bound from the memory budget.
+	Type2DictSize int
+}
+
+// Result describes one contraction step G_i -> G_{i+1}.
+type Result struct {
+	// Next is the contracted graph G_{i+1}.
+	Next edgefile.Graph
+	// RemovedPath is the sorted node file of V_i - V_{i+1}.
+	RemovedPath string
+	// NumRemoved is |V_i - V_{i+1}|.
+	NumRemoved int64
+	// PreservedEdges is |E_pre|, the edges of G_i with both ends kept.
+	PreservedEdges int64
+	// AddedEdges is |E_add|, the rewiring edges created by node removal.
+	AddedEdges int64
+	// MaxRemovedDegree is the largest number of distinct neighbours among
+	// removed nodes that had at least one incident edge; Theorem 5.3 bounds
+	// it by sqrt(2|E_i|).
+	MaxRemovedDegree uint64
+}
+
+// Contract performs one contraction step on g, writing all produced files
+// into dir.  The input graph's files are left untouched.
+func Contract(g edgefile.Graph, dir string, opts Options, cfg iomodel.Config) (Result, error) {
+	c := &contractor{g: g, dir: dir, opts: opts, cfg: cfg}
+	res, err := c.run()
+	c.cleanup()
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// contractor carries the intermediate file paths of one contraction step so
+// they can be cleaned up together.
+type contractor struct {
+	g    edgefile.Graph
+	dir  string
+	opts Options
+	cfg  iomodel.Config
+
+	temps []string
+}
+
+func (c *contractor) temp(prefix string) string {
+	p := blockio.TempFile(c.dir, prefix, c.cfg.Stats)
+	c.temps = append(c.temps, p)
+	return p
+}
+
+// keep removes path from the cleanup list (it is part of the result).
+func (c *contractor) keep(path string) {
+	for i, p := range c.temps {
+		if p == path {
+			c.temps = append(c.temps[:i], c.temps[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *contractor) cleanup() {
+	for _, p := range c.temps {
+		blockio.Remove(p)
+	}
+}
+
+func (c *contractor) run() (Result, error) {
+	// Step 1: the two sorted edge lists E_out (by source) and E_in (by
+	// target) of Algorithms 3 and 4.  Parallel edges are always eliminated
+	// while the file is sorted (Example 5.1 removes them when constructing
+	// G_{i+1}; doing it lazily here costs no extra I/O); the optimised
+	// variant additionally drops self-loops (Section VII edge reduction).
+	sorted := c.temp("eout-sorted")
+	if err := edgefile.SortEdges(c.g.EdgePath, sorted, record.EdgeBySource, c.cfg); err != nil {
+		return Result{}, err
+	}
+	eout := c.temp("eout")
+	if _, err := edgefile.DedupeEdges(sorted, eout, c.opts.Optimized, c.cfg); err != nil {
+		return Result{}, err
+	}
+	ein := c.temp("ein")
+	if err := edgefile.SortEdges(eout, ein, record.EdgeByTarget, c.cfg); err != nil {
+		return Result{}, err
+	}
+
+	// Step 2: the degree table V_d.  Type-1 node reduction keeps only nodes
+	// with both a positive in-degree and a positive out-degree.
+	vd := c.temp("vd")
+	if _, err := edgefile.ComputeDegrees(eout, ein, vd, c.opts.Optimized, c.cfg); err != nil {
+		return Result{}, err
+	}
+
+	// Step 3: the degree-augmented edge list E_d, sorted by target.
+	ed, err := c.buildEd(eout, vd)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Step 4: V_{i+1}, the vertex cover of (the Type-1-trimmed) G_i.
+	coverPath, err := c.buildCover(ed)
+	if err != nil {
+		return Result{}, err
+	}
+	numCover, err := recio.CountRecords(coverPath, record.NodeCodec{}, c.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Step 5: the removed nodes V_i - V_{i+1}.
+	removedPath := c.temp("removed")
+	numRemoved, err := edgefile.SubtractNodes(c.g.NodePath, coverPath, removedPath, c.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if numRemoved == 0 {
+		return Result{}, fmt.Errorf("contraction: no node removed from a graph with %d nodes and %d edges (contractible property violated)", c.g.NumNodes, c.g.NumEdges)
+	}
+
+	// Step 6: the edges of the contracted graph, E_{i+1} = E_pre ∪ E_add.
+	// In optimised mode the rewiring operates on the trimmed edge list (the
+	// projection of E_d), so every created edge has both ends in V_{i+1}.
+	baseEin, baseEout := ein, eout
+	if c.opts.Optimized {
+		baseEin, baseEout, err = c.projectTrimmed(ed)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	epre, preserved, err := c.buildEpre(baseEout, coverPath)
+	if err != nil {
+		return Result{}, err
+	}
+	eadd, added, maxRemovedDeg, err := c.buildEadd(baseEin, baseEout, coverPath)
+	if err != nil {
+		return Result{}, err
+	}
+	nextEdges := c.temp("next-edges")
+	numNextEdges, err := edgefile.ConcatEdges(nextEdges, c.cfg, epre, eadd)
+	if err != nil {
+		return Result{}, err
+	}
+
+	c.keep(coverPath)
+	c.keep(removedPath)
+	c.keep(nextEdges)
+	return Result{
+		Next: edgefile.Graph{
+			EdgePath: nextEdges,
+			NodePath: coverPath,
+			NumNodes: numCover,
+			NumEdges: numNextEdges,
+		},
+		RemovedPath:      removedPath,
+		NumRemoved:       numRemoved,
+		PreservedEdges:   preserved,
+		AddedEdges:       added,
+		MaxRemovedDegree: maxRemovedDeg,
+	}, nil
+}
+
+// buildEd produces E_d: every edge augmented with the comparison keys of both
+// endpoints (lines 5-7 of Algorithm 3), sorted by (target, source).  Edges
+// with an endpoint missing from V_d (possible only under Type-1 reduction)
+// are dropped.
+func (c *contractor) buildEd(eout, vd string) (string, error) {
+	refined := c.opts.Optimized
+
+	// Join on the source endpoint.
+	bySource := c.temp("ed-by-source")
+	if err := c.joinEdgesWithDegrees(eout, vd, bySource, false, refined); err != nil {
+		return "", err
+	}
+	// Re-sort by target.
+	byTarget := c.temp("ed-by-target")
+	sorter := extsort.New[record.EdgeAug](record.EdgeAugCodec{}, record.EdgeAugByTarget, c.cfg)
+	if err := sorter.SortFile(bySource, byTarget); err != nil {
+		return "", err
+	}
+	// Join on the target endpoint.
+	ed := c.temp("ed")
+	if err := c.joinEdgesWithDegrees(byTarget, vd, ed, true, refined); err != nil {
+		return "", err
+	}
+	return ed, nil
+}
+
+// joinEdgesWithDegrees merge-joins an augmented-edge stream with the degree
+// table, filling the key of the source endpoint (byTarget=false, input sorted
+// by source) or of the target endpoint (byTarget=true, input sorted by
+// target).  For the first join the input is a plain edge file.
+func (c *contractor) joinEdgesWithDegrees(edgePath, vdPath, outPath string, byTarget, refined bool) error {
+	vdR, err := recio.NewReader(vdPath, record.NodeDegreeCodec{}, c.cfg)
+	if err != nil {
+		return err
+	}
+	defer vdR.Close()
+	degrees := recio.NewPeekable[record.NodeDegree](vdR.Iter())
+
+	w, err := recio.NewWriter(outPath, record.EdgeAugCodec{}, c.cfg)
+	if err != nil {
+		return err
+	}
+
+	lookup := func(node record.NodeID) (record.NodeKey, bool) {
+		for degrees.Valid() && degrees.Peek().Node < node {
+			degrees.Pop()
+		}
+		if degrees.Valid() && degrees.Peek().Node == node {
+			return degrees.Peek().Key(refined), true
+		}
+		return record.NodeKey{}, false
+	}
+
+	emit := func(rec record.EdgeAug) error {
+		var key record.NodeID
+		if byTarget {
+			key = rec.V
+		} else {
+			key = rec.U
+		}
+		k, ok := lookup(key)
+		if !ok {
+			return nil // endpoint trimmed by Type-1 reduction
+		}
+		if byTarget {
+			rec.KeyV = k
+		} else {
+			rec.KeyU = k
+		}
+		return w.Write(rec)
+	}
+
+	if byTarget {
+		r, err := recio.NewReader(edgePath, record.EdgeAugCodec{}, c.cfg)
+		if err != nil {
+			w.Close()
+			return err
+		}
+		defer r.Close()
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				w.Close()
+				return err
+			}
+			if err := emit(rec); err != nil {
+				w.Close()
+				return err
+			}
+		}
+	} else {
+		r, err := recio.NewReader(edgePath, record.EdgeCodec{}, c.cfg)
+		if err != nil {
+			w.Close()
+			return err
+		}
+		defer r.Close()
+		for {
+			e, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				w.Close()
+				return err
+			}
+			if err := emit(record.EdgeAug{U: e.U, V: e.V}); err != nil {
+				w.Close()
+				return err
+			}
+		}
+	}
+	if err := degrees.Err(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// buildCover scans E_d once, adds the greater endpoint of every edge to the
+// cover (lines 8-9 of Algorithm 3, with the Type-2 dictionary of Section VII
+// in optimised mode), then sorts and deduplicates the cover node list.
+func (c *contractor) buildCover(ed string) (string, error) {
+	r, err := recio.NewReader(ed, record.EdgeAugCodec{}, c.cfg)
+	if err != nil {
+		return "", err
+	}
+	defer r.Close()
+	raw := c.temp("cover-raw")
+	w, err := recio.NewWriter(raw, record.NodeCodec{}, c.cfg)
+	if err != nil {
+		return "", err
+	}
+
+	var dict *type2Dict
+	if c.opts.Optimized {
+		size := c.opts.Type2DictSize
+		if size <= 0 {
+			// One quarter of the memory budget, ~16 bytes per retained entry.
+			size = int(c.cfg.Memory / 4 / 16)
+			if size < 16 {
+				size = 16
+			}
+		}
+		dict = newType2Dict(size)
+	}
+
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			return "", err
+		}
+		if rec.U == rec.V {
+			// A self-loop carries no inter-node connectivity, so it imposes no
+			// cover constraint; skipping it keeps the contractible property
+			// even when rewiring has turned 2-cycles into self-loops.
+			continue
+		}
+		cover := rec.CoverNode()
+		other := rec.OtherNode()
+		if dict != nil {
+			// Type-2 reduction: if the smaller endpoint is already known to be
+			// in the cover, this edge is covered and the greater endpoint need
+			// not be added for it.
+			if dict.contains(other) {
+				continue
+			}
+			var coverKey record.NodeKey
+			if cover == rec.U {
+				coverKey = rec.KeyU
+			} else {
+				coverKey = rec.KeyV
+			}
+			dict.insert(cover, coverKey)
+		}
+		if err := w.Write(cover); err != nil {
+			w.Close()
+			return "", err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return "", err
+	}
+
+	sorted := c.temp("cover-sorted")
+	sorter := extsort.New[record.NodeID](record.NodeCodec{}, record.NodeLess, c.cfg)
+	if err := sorter.SortFile(raw, sorted); err != nil {
+		return "", err
+	}
+	cover := c.temp("cover")
+	if _, err := edgefile.DedupeNodes(sorted, cover, c.cfg); err != nil {
+		return "", err
+	}
+	return cover, nil
+}
+
+// projectTrimmed projects E_d back to plain edges, producing the trimmed edge
+// list sorted by target and by source.  E_d is sorted by (target, source)
+// already, so the first projection is a single scan.
+func (c *contractor) projectTrimmed(ed string) (einT, eoutT string, err error) {
+	einT = c.temp("ein-trim")
+	r, err := recio.NewReader(ed, record.EdgeAugCodec{}, c.cfg)
+	if err != nil {
+		return "", "", err
+	}
+	w, err := recio.NewWriter(einT, record.EdgeCodec{}, c.cfg)
+	if err != nil {
+		r.Close()
+		return "", "", err
+	}
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			r.Close()
+			w.Close()
+			return "", "", err
+		}
+		if err := w.Write(rec.Edge()); err != nil {
+			r.Close()
+			w.Close()
+			return "", "", err
+		}
+	}
+	r.Close()
+	if err := w.Close(); err != nil {
+		return "", "", err
+	}
+	eoutT = c.temp("eout-trim")
+	if err := edgefile.SortEdges(einT, eoutT, record.EdgeBySource, c.cfg); err != nil {
+		return "", "", err
+	}
+	return einT, eoutT, nil
+}
+
+// buildEpre keeps the edges of G_i whose both endpoints are in the cover
+// (lines 9-11 of Algorithm 4).
+func (c *contractor) buildEpre(baseEout, coverPath string) (string, int64, error) {
+	bySource := c.temp("epre-by-source")
+	if _, err := edgefile.MembershipFilter(baseEout, coverPath, bySource, false, true, c.cfg); err != nil {
+		return "", 0, err
+	}
+	byTarget := c.temp("epre-by-target")
+	if err := edgefile.SortEdges(bySource, byTarget, record.EdgeByTarget, c.cfg); err != nil {
+		return "", 0, err
+	}
+	epre := c.temp("epre")
+	n, err := edgefile.MembershipFilter(byTarget, coverPath, epre, true, true, c.cfg)
+	if err != nil {
+		return "", 0, err
+	}
+	return epre, n, nil
+}
+
+// buildEadd creates the rewiring edges: for every removed node v, every
+// in-neighbour u is connected to every out-neighbour w (lines 3-8 of
+// Algorithm 4).  The out-neighbour list of one removed node is buffered in
+// memory; Theorem 5.3 bounds its size by sqrt(2|E_i|).
+func (c *contractor) buildEadd(baseEin, baseEout, coverPath string) (string, int64, uint64, error) {
+	// E_del: incoming edges of removed nodes, sorted by (target, source).
+	edel := c.temp("edel")
+	if _, err := edgefile.MembershipFilter(baseEin, coverPath, edel, true, false, c.cfg); err != nil {
+		return "", 0, 0, err
+	}
+	// Out-going edges of removed nodes, sorted by (source, target).
+	eoutDel := c.temp("eout-del")
+	if _, err := edgefile.MembershipFilter(baseEout, coverPath, eoutDel, false, false, c.cfg); err != nil {
+		return "", 0, 0, err
+	}
+
+	delR, err := recio.NewReader(edel, record.EdgeCodec{}, c.cfg)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	defer delR.Close()
+	outR, err := recio.NewReader(eoutDel, record.EdgeCodec{}, c.cfg)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	defer outR.Close()
+
+	eadd := c.temp("eadd")
+	w, err := recio.NewWriter(eadd, record.EdgeCodec{}, c.cfg)
+	if err != nil {
+		return "", 0, 0, err
+	}
+
+	inEdges := recio.NewPeekable[record.Edge](delR.Iter())
+	outEdges := recio.NewPeekable[record.Edge](outR.Iter())
+	var maxRemovedDeg uint64
+
+	for inEdges.Valid() {
+		v := inEdges.Peek().V
+		// Collect the in-neighbours of v (self-loops carry no inter-node
+		// connectivity and are skipped).
+		var ins []record.NodeID
+		for inEdges.Valid() && inEdges.Peek().V == v {
+			e := inEdges.Pop()
+			if e.U != v {
+				ins = append(ins, e.U)
+			}
+		}
+		// Advance to and collect the out-neighbours of v.
+		for outEdges.Valid() && outEdges.Peek().U < v {
+			outEdges.Pop()
+		}
+		var outs []record.NodeID
+		for outEdges.Valid() && outEdges.Peek().U == v {
+			e := outEdges.Pop()
+			if e.V != v {
+				outs = append(outs, e.V)
+			}
+		}
+		// Theorem 5.3 bounds the number of distinct neighbours of a removed
+		// node by sqrt(2|E_i|); track the largest observed value.
+		distinct := map[record.NodeID]struct{}{}
+		for _, u := range ins {
+			distinct[u] = struct{}{}
+		}
+		for _, t := range outs {
+			distinct[t] = struct{}{}
+		}
+		if deg := uint64(len(distinct)); deg > maxRemovedDeg {
+			maxRemovedDeg = deg
+		}
+		for _, u := range ins {
+			for _, t := range outs {
+				if u == t {
+					// The rewiring of a 2-cycle through the removed node would
+					// be a self-loop; it carries no SCC information (u and v
+					// are already strongly connected via v, which the
+					// expansion phase recovers from the neighbour SCC sets),
+					// and keeping it would eventually block the contractible
+					// property.  The paper drops self circles when building
+					// G_{i+1} (Example 5.1).
+					continue
+				}
+				if err := w.Write(record.Edge{U: u, V: t}); err != nil {
+					w.Close()
+					return "", 0, 0, err
+				}
+			}
+		}
+	}
+	if err := inEdges.Err(); err != nil {
+		w.Close()
+		return "", 0, 0, err
+	}
+	if err := outEdges.Err(); err != nil {
+		w.Close()
+		return "", 0, 0, err
+	}
+	if err := w.Close(); err != nil {
+		return "", 0, 0, err
+	}
+	n, err := recio.CountRecords(eadd, record.EdgeCodec{}, c.cfg)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return eadd, n, maxRemovedDeg, nil
+}
+
+// ---------------------------------------------------------------------------
+// Type-2 dictionary
+// ---------------------------------------------------------------------------
+
+// type2Dict is the bounded in-memory dictionary T of Section VII: it retains
+// the s smallest cover nodes (under the ">" operator) added so far, so that
+// membership checks never exceed the memory budget.
+type type2Dict struct {
+	limit   int
+	members map[record.NodeID]record.NodeKey
+	order   type2Heap
+}
+
+type type2Entry struct {
+	node record.NodeID
+	key  record.NodeKey
+}
+
+type type2Heap []type2Entry
+
+func (h type2Heap) Len() int { return len(h) }
+func (h type2Heap) Less(i, j int) bool {
+	// Max-heap under ">": the greatest retained node is at the top, ready to
+	// be evicted first.
+	return record.Greater(h[i].node, h[i].key, h[j].node, h[j].key)
+}
+func (h type2Heap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *type2Heap) Push(x any)        { *h = append(*h, x.(type2Entry)) }
+func (h *type2Heap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func newType2Dict(limit int) *type2Dict {
+	return &type2Dict{limit: limit, members: make(map[record.NodeID]record.NodeKey)}
+}
+
+func (d *type2Dict) contains(n record.NodeID) bool {
+	_, ok := d.members[n]
+	return ok
+}
+
+func (d *type2Dict) insert(n record.NodeID, key record.NodeKey) {
+	if _, ok := d.members[n]; ok {
+		return
+	}
+	if len(d.members) < d.limit {
+		d.members[n] = key
+		heap.Push(&d.order, type2Entry{node: n, key: key})
+		return
+	}
+	// Full: keep the smaller of the new node and the current greatest entry.
+	top := d.order[0]
+	if record.Greater(n, key, top.node, top.key) {
+		return // the new node is greater than everything retained; drop it
+	}
+	heap.Pop(&d.order)
+	delete(d.members, top.node)
+	d.members[n] = key
+	heap.Push(&d.order, type2Entry{node: n, key: key})
+}

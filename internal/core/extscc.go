@@ -1,0 +1,271 @@
+// Package core implements Ext-SCC (Algorithm 2 of the paper), the paper's
+// primary contribution: an external-memory SCC algorithm that alternates a
+// graph-contraction phase (package contraction) with a graph-expansion phase
+// (package expansion) around a semi-external base-case solver (package
+// semiscc).
+//
+// The contraction loop shrinks the node set until it fits in the memory
+// budget, the semi-external solver labels the final contracted graph, and the
+// expansion loop walks back through the contraction steps in reverse order,
+// recovering the SCC of every removed node.  Both phases use only sequential
+// scans and external sorts, which is the source of the I/O savings over the
+// DFS-based baseline.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"extscc/internal/blockio"
+	"extscc/internal/contraction"
+	"extscc/internal/edgefile"
+	"extscc/internal/expansion"
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+	"extscc/internal/semiscc"
+)
+
+// ErrTimeLimit is returned when Options.MaxDuration elapses before the
+// algorithm finishes (the analogue of the paper's 24-hour cap).
+var ErrTimeLimit = errors.New("core: time limit exceeded")
+
+// DefaultMaxIterations bounds the contraction loop.  Lemma 5.2 guarantees
+// progress on every iteration, so the bound is a safety net, not part of the
+// algorithm.
+const DefaultMaxIterations = 256
+
+// Options configures an Ext-SCC run.
+type Options struct {
+	// Optimized enables the Section VII optimisations (Ext-SCC-Op).
+	Optimized bool
+	// Type2DictSize bounds the Type-2 dictionary (0 = derive from memory).
+	Type2DictSize int
+	// MaxIterations bounds the contraction loop (0 = DefaultMaxIterations).
+	MaxIterations int
+	// MaxDuration aborts the run with ErrTimeLimit once exceeded (0 = none).
+	MaxDuration time.Duration
+	// ForceStreamingSemi forces the semi-external solver to stream edges even
+	// when the final contracted graph would fit in memory.
+	ForceStreamingSemi bool
+	// KeepTemp retains the run directory (intermediate graphs and label
+	// files) instead of deleting everything except the final label file.
+	KeepTemp bool
+}
+
+// IterationStats records one contraction step for reporting.
+type IterationStats struct {
+	// Index is the 1-based contraction iteration number.
+	Index int
+	// NumNodes and NumEdges describe G_i before the step.
+	NumNodes int64
+	NumEdges int64
+	// NumRemoved is |V_i - V_{i+1}|.
+	NumRemoved int64
+	// PreservedEdges and AddedEdges partition |E_{i+1}|.
+	PreservedEdges int64
+	AddedEdges     int64
+	// MaxRemovedDegree is the largest number of distinct neighbours among
+	// removed nodes (Theorem 5.3 bounds it by sqrt(2|E_i|)).
+	MaxRemovedDegree uint64
+}
+
+// Result describes a completed Ext-SCC run.
+type Result struct {
+	// LabelPath is the final label file: one (node, SCC) record per node of
+	// the input graph, sorted by node id.  Every SCC identifier is the id of
+	// one of the component's members.
+	LabelPath string
+	// NumSCCs is the number of strongly connected components.
+	NumSCCs int64
+	// NumNodes is the number of labelled nodes (= |V| of the input).
+	NumNodes int64
+	// Iterations holds one entry per contraction step, in order.
+	Iterations []IterationStats
+	// SemiExternal describes the base-case solve on the final contracted
+	// graph.
+	SemiExternal semiscc.Result
+	// IO is the I/O incurred by this run (difference of the shared Stats).
+	IO iomodel.Snapshot
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+	// RunDir is the directory holding LabelPath (and, with KeepTemp, all
+	// intermediate files).
+	RunDir string
+
+	keepTemp bool
+}
+
+// Cleanup removes the run directory, including the final label file.  Call it
+// once the labels have been consumed.
+func (r *Result) Cleanup() error {
+	if r == nil || r.RunDir == "" {
+		return nil
+	}
+	return os.RemoveAll(r.RunDir)
+}
+
+// ExtSCC computes all SCCs of g under the memory budget of cfg.
+// Intermediate files are written beneath dir (empty = cfg.TempDir or the
+// system temp directory).
+func ExtSCC(g edgefile.Graph, dir string, opts Options, cfg iomodel.Config) (*Result, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if dir == "" {
+		dir = cfg.TempDir
+	}
+	runDir, err := os.MkdirTemp(dirOrTemp(dir), "extscc-run-")
+	if err != nil {
+		return nil, fmt.Errorf("core: create run directory: %w", err)
+	}
+	res, err := run(g, runDir, opts, cfg)
+	if err != nil {
+		os.RemoveAll(runDir)
+		return nil, err
+	}
+	return res, nil
+}
+
+func dirOrTemp(dir string) string {
+	if dir == "" {
+		return os.TempDir()
+	}
+	return dir
+}
+
+type removedStep struct {
+	edgePath    string // edge file of G_i
+	removedPath string // sorted removed nodes V_i - V_{i+1}
+}
+
+func run(g edgefile.Graph, runDir string, opts Options, cfg iomodel.Config) (*Result, error) {
+	start := time.Now()
+	before := cfg.Stats.Snapshot()
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	deadline := time.Time{}
+	if opts.MaxDuration > 0 {
+		deadline = start.Add(opts.MaxDuration)
+	}
+	checkDeadline := func() error {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return ErrTimeLimit
+		}
+		return nil
+	}
+
+	result := &Result{RunDir: runDir, keepTemp: opts.KeepTemp, NumNodes: g.NumNodes}
+	copts := contraction.Options{Optimized: opts.Optimized, Type2DictSize: opts.Type2DictSize}
+
+	// Graph-contraction phase (Algorithm 2, lines 2-4): shrink the node set
+	// until it fits in memory.
+	capacity := cfg.NodeCapacity()
+	current := g
+	var steps []removedStep
+	var intermediateGraphs []edgefile.Graph
+	for current.NumNodes > capacity {
+		if err := checkDeadline(); err != nil {
+			return nil, err
+		}
+		if len(steps) >= maxIter {
+			return nil, fmt.Errorf("core: contraction did not reach the memory budget within %d iterations (|V|=%d, capacity=%d)", maxIter, current.NumNodes, capacity)
+		}
+		cres, err := contraction.Contract(current, runDir, copts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		result.Iterations = append(result.Iterations, IterationStats{
+			Index:            len(steps) + 1,
+			NumNodes:         current.NumNodes,
+			NumEdges:         current.NumEdges,
+			NumRemoved:       cres.NumRemoved,
+			PreservedEdges:   cres.PreservedEdges,
+			AddedEdges:       cres.AddedEdges,
+			MaxRemovedDegree: cres.MaxRemovedDegree,
+		})
+		steps = append(steps, removedStep{edgePath: current.EdgePath, removedPath: cres.RemovedPath})
+		current = cres.Next
+		intermediateGraphs = append(intermediateGraphs, cres.Next)
+	}
+
+	// Semi-external base case (Algorithm 2, line 5).
+	semiRes, err := semiscc.Compute(current, runDir, semiscc.Options{ForceStreaming: opts.ForceStreamingSemi}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	result.SemiExternal = semiRes
+	labels := semiRes.LabelPath
+
+	// Graph-expansion phase (Algorithm 2, lines 6-9): add the removed nodes
+	// back in reverse order of removal.
+	for i := len(steps) - 1; i >= 0; i-- {
+		if err := checkDeadline(); err != nil {
+			return nil, err
+		}
+		eres, err := expansion.Expand(expansion.Input{
+			EdgePath:       steps[i].edgePath,
+			RemovedPath:    steps[i].removedPath,
+			KeptLabelsPath: labels,
+		}, runDir, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !opts.KeepTemp {
+			blockio.Remove(labels)
+		}
+		labels = eres.LabelPath
+	}
+
+	numSCCs, err := semiscc.CountSCCsInFile(labels, cfg)
+	if err != nil {
+		return nil, err
+	}
+	numLabels, err := recio.CountRecords(labels, record.LabelCodec{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if numLabels != g.NumNodes {
+		return nil, fmt.Errorf("core: produced %d labels for a graph with %d nodes", numLabels, g.NumNodes)
+	}
+
+	// Drop everything but the final label file unless the caller wants the
+	// intermediates.
+	if !opts.KeepTemp {
+		for _, step := range steps {
+			if step.edgePath != g.EdgePath {
+				blockio.Remove(step.edgePath)
+			}
+			blockio.Remove(step.removedPath)
+		}
+		for _, ig := range intermediateGraphs {
+			if ig.EdgePath != g.EdgePath {
+				blockio.Remove(ig.EdgePath)
+			}
+			if ig.NodePath != g.NodePath {
+				blockio.Remove(ig.NodePath)
+			}
+		}
+		if semiRes.LabelPath != labels {
+			blockio.Remove(semiRes.LabelPath)
+		}
+	}
+
+	result.LabelPath = labels
+	result.NumSCCs = numSCCs
+	result.Duration = time.Since(start)
+	result.IO = cfg.Stats.Snapshot().Sub(before)
+	return result, nil
+}
+
+// ReadLabels loads the final label file of a result into memory.  Intended
+// for callers whose node set fits in memory (tests, examples, the public
+// facade); large deployments should stream LabelPath instead.
+func (r *Result) ReadLabels(cfg iomodel.Config) ([]record.Label, error) {
+	return recio.ReadAll(r.LabelPath, record.LabelCodec{}, cfg)
+}

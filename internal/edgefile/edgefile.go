@@ -1,0 +1,566 @@
+// Package edgefile implements the on-disk graph representation and the
+// relational-style external operators (sorted scans, merge joins, semi-joins,
+// anti-joins, degree aggregation, edge reversal and deduplication) that the
+// paper's Algorithms 3, 4 and 5 are expressed in.
+//
+// A graph G_i(V_i, E_i) is stored as two files: an edge file of fixed-size
+// (u, v) records and a node file of sorted node identifiers.  The node file is
+// explicit because isolated nodes carry no edges yet still need an SCC label,
+// and because the contraction phase needs V_i - V_{i+1}.
+package edgefile
+
+import (
+	"fmt"
+	"io"
+
+	"extscc/internal/blockio"
+	"extscc/internal/extsort"
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+// Graph is an on-disk directed graph.
+type Graph struct {
+	// EdgePath is the path of the edge file ((u,v) records, arbitrary order
+	// unless stated otherwise by the producing operator).
+	EdgePath string
+	// NodePath is the path of the node file (sorted ascending, no duplicates).
+	NodePath string
+	// NumNodes is |V|.
+	NumNodes int64
+	// NumEdges is |E|.
+	NumEdges int64
+}
+
+// String summarises the graph for logs.
+func (g Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d |E|=%d edges=%s nodes=%s}", g.NumNodes, g.NumEdges, g.EdgePath, g.NodePath)
+}
+
+// Remove deletes both backing files.
+func (g Graph) Remove() error {
+	if err := blockio.Remove(g.EdgePath); err != nil {
+		return err
+	}
+	return blockio.Remove(g.NodePath)
+}
+
+// WriteGraph materialises an in-memory edge list and node list as an on-disk
+// graph rooted in dir.  The graph's node set is the union of the edge
+// endpoints and nodes (which therefore only needs to list isolated nodes).
+// It is primarily a test and example helper; large graphs are produced by
+// streaming generators instead.
+func WriteGraph(dir string, edges []record.Edge, nodes []record.NodeID, cfg iomodel.Config) (Graph, error) {
+	edgePath := blockio.TempFile(dir, "graph-edges", cfg.Stats)
+	if err := recio.WriteSlice(edgePath, record.EdgeCodec{}, cfg, edges); err != nil {
+		return Graph{}, err
+	}
+	nodePath := blockio.TempFile(dir, "graph-nodes", cfg.Stats)
+	{
+		seen := map[record.NodeID]struct{}{}
+		for _, e := range edges {
+			seen[e.U] = struct{}{}
+			seen[e.V] = struct{}{}
+		}
+		for _, n := range nodes {
+			seen[n] = struct{}{}
+		}
+		nodes = make([]record.NodeID, 0, len(seen))
+		for n := range seen {
+			nodes = append(nodes, n)
+		}
+	}
+	tmp := blockio.TempFile(dir, "graph-nodes-unsorted", cfg.Stats)
+	if err := recio.WriteSlice(tmp, record.NodeCodec{}, cfg, nodes); err != nil {
+		return Graph{}, err
+	}
+	defer blockio.Remove(tmp)
+	sorter := extsort.New[record.NodeID](record.NodeCodec{}, record.NodeLess, cfg)
+	sortedTmp := blockio.TempFile(dir, "graph-nodes-sorted", cfg.Stats)
+	if err := sorter.SortFile(tmp, sortedTmp); err != nil {
+		return Graph{}, err
+	}
+	defer blockio.Remove(sortedTmp)
+	n, err := DedupeNodes(sortedTmp, nodePath, cfg)
+	if err != nil {
+		return Graph{}, err
+	}
+	return Graph{
+		EdgePath: edgePath,
+		NodePath: nodePath,
+		NumNodes: n,
+		NumEdges: int64(len(edges)),
+	}, nil
+}
+
+// GraphFromEdgeFile builds a Graph around an existing edge file, deriving the
+// node set from the edge endpoints (plus extraNodes, typically the isolated
+// nodes known to the generator).  The edge file is not copied.
+func GraphFromEdgeFile(edgePath, dir string, extraNodes []record.NodeID, cfg iomodel.Config) (Graph, error) {
+	numEdges, err := recio.CountRecords(edgePath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return Graph{}, err
+	}
+	// Emit every endpoint (and the extra nodes) then sort + dedupe.
+	endpoints := blockio.TempFile(dir, "endpoints", cfg.Stats)
+	ew, err := recio.NewWriter(endpoints, record.NodeCodec{}, cfg)
+	if err != nil {
+		return Graph{}, err
+	}
+	er, err := recio.NewReader(edgePath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		ew.Close()
+		return Graph{}, err
+	}
+	for {
+		e, err := er.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			er.Close()
+			ew.Close()
+			return Graph{}, err
+		}
+		if err := ew.Write(e.U); err != nil {
+			er.Close()
+			ew.Close()
+			return Graph{}, err
+		}
+		if err := ew.Write(e.V); err != nil {
+			er.Close()
+			ew.Close()
+			return Graph{}, err
+		}
+	}
+	er.Close()
+	for _, n := range extraNodes {
+		if err := ew.Write(n); err != nil {
+			ew.Close()
+			return Graph{}, err
+		}
+	}
+	if err := ew.Close(); err != nil {
+		return Graph{}, err
+	}
+	defer blockio.Remove(endpoints)
+
+	sorted := blockio.TempFile(dir, "endpoints-sorted", cfg.Stats)
+	sorter := extsort.New[record.NodeID](record.NodeCodec{}, record.NodeLess, cfg)
+	if err := sorter.SortFile(endpoints, sorted); err != nil {
+		return Graph{}, err
+	}
+	defer blockio.Remove(sorted)
+
+	nodePath := blockio.TempFile(dir, "graph-nodes", cfg.Stats)
+	numNodes, err := DedupeNodes(sorted, nodePath, cfg)
+	if err != nil {
+		return Graph{}, err
+	}
+	return Graph{EdgePath: edgePath, NodePath: nodePath, NumNodes: numNodes, NumEdges: numEdges}, nil
+}
+
+// SortEdges sorts the edge file at in into a new file at out under the given
+// order (for example record.EdgeBySource or record.EdgeByTarget).
+func SortEdges(in, out string, less func(a, b record.Edge) bool, cfg iomodel.Config) error {
+	return extsort.New[record.Edge](record.EdgeCodec{}, less, cfg).SortFile(in, out)
+}
+
+// DedupeEdges copies the sorted edge file at in to out, dropping consecutive
+// duplicates (parallel edges), and returns the number of surviving edges.
+// If dropSelfLoops is set, edges (u, u) are dropped as well.
+func DedupeEdges(in, out string, dropSelfLoops bool, cfg iomodel.Config) (int64, error) {
+	r, err := recio.NewReader(in, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	w, err := recio.NewWriter(out, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	var prev record.Edge
+	first := true
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			return 0, err
+		}
+		if dropSelfLoops && e.U == e.V {
+			continue
+		}
+		if !first && e == prev {
+			continue
+		}
+		if err := w.Write(e); err != nil {
+			w.Close()
+			return 0, err
+		}
+		prev = e
+		first = false
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
+// DedupeNodes copies the sorted node file at in to out, dropping duplicates,
+// and returns the number of surviving nodes.
+func DedupeNodes(in, out string, cfg iomodel.Config) (int64, error) {
+	r, err := recio.NewReader(in, record.NodeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	w, err := recio.NewWriter(out, record.NodeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	var prev record.NodeID
+	first := true
+	for {
+		n, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			return 0, err
+		}
+		if !first && n == prev {
+			continue
+		}
+		if err := w.Write(n); err != nil {
+			w.Close()
+			return 0, err
+		}
+		prev = n
+		first = false
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
+// ReverseEdges writes every edge of in reversed to out.
+func ReverseEdges(in, out string, cfg iomodel.Config) error {
+	r, err := recio.NewReader(in, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	w, err := recio.NewWriter(out, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return err
+	}
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Write(e.Reverse()); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// ComputeDegrees builds the degree table V_d of Algorithm 3.  eoutPath must
+// be sorted by source and einPath by target; the result is one NodeDegree
+// record per node that has at least one incident edge, sorted by node id.
+// When requireBoth is set (the Type-1 node-reduction of Section VII), nodes
+// with zero in-degree or zero out-degree are omitted.
+func ComputeDegrees(eoutPath, einPath, outPath string, requireBoth bool, cfg iomodel.Config) (int64, error) {
+	outR, err := recio.NewReader(eoutPath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer outR.Close()
+	inR, err := recio.NewReader(einPath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer inR.Close()
+	w, err := recio.NewWriter(outPath, record.NodeDegreeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+
+	outIt := recio.NewPeekable[record.Edge](outR.Iter())
+	inIt := recio.NewPeekable[record.Edge](inR.Iter())
+
+	// nextOutGroup returns the next (node, out-degree) pair from the edge file
+	// sorted by source.
+	nextOutGroup := func() (record.NodeID, uint32, bool) {
+		if !outIt.Valid() {
+			return 0, 0, false
+		}
+		node := outIt.Peek().U
+		var deg uint32
+		for outIt.Valid() && outIt.Peek().U == node {
+			outIt.Pop()
+			deg++
+		}
+		return node, deg, true
+	}
+	nextInGroup := func() (record.NodeID, uint32, bool) {
+		if !inIt.Valid() {
+			return 0, 0, false
+		}
+		node := inIt.Peek().V
+		var deg uint32
+		for inIt.Valid() && inIt.Peek().V == node {
+			inIt.Pop()
+			deg++
+		}
+		return node, deg, true
+	}
+
+	emit := func(d record.NodeDegree) error {
+		if requireBoth && (d.DegIn == 0 || d.DegOut == 0) {
+			return nil
+		}
+		return w.Write(d)
+	}
+
+	oNode, oDeg, oOK := nextOutGroup()
+	iNode, iDeg, iOK := nextInGroup()
+	for oOK || iOK {
+		switch {
+		case oOK && iOK && oNode == iNode:
+			if err := emit(record.NodeDegree{Node: oNode, DegIn: iDeg, DegOut: oDeg}); err != nil {
+				w.Close()
+				return 0, err
+			}
+			oNode, oDeg, oOK = nextOutGroup()
+			iNode, iDeg, iOK = nextInGroup()
+		case oOK && (!iOK || oNode < iNode):
+			if err := emit(record.NodeDegree{Node: oNode, DegIn: 0, DegOut: oDeg}); err != nil {
+				w.Close()
+				return 0, err
+			}
+			oNode, oDeg, oOK = nextOutGroup()
+		default:
+			if err := emit(record.NodeDegree{Node: iNode, DegIn: iDeg, DegOut: 0}); err != nil {
+				w.Close()
+				return 0, err
+			}
+			iNode, iDeg, iOK = nextInGroup()
+		}
+	}
+	if err := outIt.Err(); err != nil {
+		w.Close()
+		return 0, err
+	}
+	if err := inIt.Err(); err != nil {
+		w.Close()
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
+// SubtractNodes writes the sorted node file at aPath minus the sorted node
+// file at bPath to outPath (set difference A \ B) and returns its size.
+func SubtractNodes(aPath, bPath, outPath string, cfg iomodel.Config) (int64, error) {
+	aR, err := recio.NewReader(aPath, record.NodeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer aR.Close()
+	bR, err := recio.NewReader(bPath, record.NodeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer bR.Close()
+	w, err := recio.NewWriter(outPath, record.NodeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	a := recio.NewPeekable[record.NodeID](aR.Iter())
+	b := recio.NewPeekable[record.NodeID](bR.Iter())
+	for a.Valid() {
+		av := a.Peek()
+		for b.Valid() && b.Peek() < av {
+			b.Pop()
+		}
+		if b.Valid() && b.Peek() == av {
+			a.Pop()
+			continue
+		}
+		if err := w.Write(a.Pop()); err != nil {
+			w.Close()
+			return 0, err
+		}
+	}
+	if err := firstErr(a.Err(), b.Err()); err != nil {
+		w.Close()
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
+// MembershipFilter streams the edge file at edgePath (sorted by the join key
+// selected with byTarget) against the sorted node file at nodePath and writes
+// to outPath the edges whose key is (keep=true) or is not (keep=false) a
+// member of the node file.  It is the semi-join / anti-join primitive of
+// Algorithms 4 and 5 (V_{i+1} ✶ E).
+func MembershipFilter(edgePath, nodePath, outPath string, byTarget, keep bool, cfg iomodel.Config) (int64, error) {
+	eR, err := recio.NewReader(edgePath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer eR.Close()
+	nR, err := recio.NewReader(nodePath, record.NodeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer nR.Close()
+	w, err := recio.NewWriter(outPath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	edges := recio.NewPeekable[record.Edge](eR.Iter())
+	nodes := recio.NewPeekable[record.NodeID](nR.Iter())
+	key := func(e record.Edge) record.NodeID {
+		if byTarget {
+			return e.V
+		}
+		return e.U
+	}
+	for edges.Valid() {
+		e := edges.Peek()
+		k := key(e)
+		for nodes.Valid() && nodes.Peek() < k {
+			nodes.Pop()
+		}
+		member := nodes.Valid() && nodes.Peek() == k
+		if member == keep {
+			if err := w.Write(e); err != nil {
+				w.Close()
+				return 0, err
+			}
+		}
+		edges.Pop()
+	}
+	if err := firstErr(edges.Err(), nodes.Err()); err != nil {
+		w.Close()
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
+// ConcatEdges appends the edge files at parts into a single edge file at
+// outPath and returns the total number of edges.
+func ConcatEdges(outPath string, cfg iomodel.Config, parts ...string) (int64, error) {
+	w, err := recio.NewWriter(outPath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range parts {
+		r, err := recio.NewReader(p, record.EdgeCodec{}, cfg)
+		if err != nil {
+			w.Close()
+			return 0, err
+		}
+		for {
+			e, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				w.Close()
+				return 0, err
+			}
+			if err := w.Write(e); err != nil {
+				r.Close()
+				w.Close()
+				return 0, err
+			}
+		}
+		r.Close()
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
+// MergeLabels merges two label files sorted by node id into outPath, keeping
+// the node order, and returns the number of labels written.  The inputs must
+// have disjoint node sets (kept nodes vs. removed nodes).
+func MergeLabels(aPath, bPath, outPath string, cfg iomodel.Config) (int64, error) {
+	aR, err := recio.NewReader(aPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer aR.Close()
+	bR, err := recio.NewReader(bPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer bR.Close()
+	w, err := recio.NewWriter(outPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	a := recio.NewPeekable[record.Label](aR.Iter())
+	b := recio.NewPeekable[record.Label](bR.Iter())
+	for a.Valid() || b.Valid() {
+		var next record.Label
+		switch {
+		case a.Valid() && b.Valid():
+			if a.Peek().Node <= b.Peek().Node {
+				next = a.Pop()
+			} else {
+				next = b.Pop()
+			}
+		case a.Valid():
+			next = a.Pop()
+		default:
+			next = b.Pop()
+		}
+		if err := w.Write(next); err != nil {
+			w.Close()
+			return 0, err
+		}
+	}
+	if err := firstErr(a.Err(), b.Err()); err != nil {
+		w.Close()
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+package edgefile
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+func testConfig(t *testing.T) iomodel.Config {
+	t.Helper()
+	return iomodel.Config{BlockSize: 256, Memory: 64 * 1024, TempDir: t.TempDir(), Stats: &iomodel.Stats{}}
+}
+
+func writeEdges(t *testing.T, cfg iomodel.Config, edges []record.Edge) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "edges.bin")
+	if err := recio.WriteSlice(path, record.EdgeCodec{}, cfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeNodes(t *testing.T, cfg iomodel.Config, nodes []record.NodeID) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "nodes.bin")
+	if err := recio.WriteSlice(path, record.NodeCodec{}, cfg, nodes); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWriteGraphDerivesNodes(t *testing.T) {
+	cfg := testConfig(t)
+	g, err := WriteGraph(cfg.TempDir, []record.Edge{{U: 5, V: 2}, {U: 2, V: 5}, {U: 9, V: 5}}, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 3 || g.NumEdges != 3 {
+		t.Fatalf("graph = %s", g)
+	}
+	nodes, err := recio.ReadAll(g.NodePath, record.NodeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []record.NodeID{2, 5, 9}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", nodes, want)
+		}
+	}
+	if err := g.Remove(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphFromEdgeFile(t *testing.T) {
+	cfg := testConfig(t)
+	path := writeEdges(t, cfg, []record.Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 1, V: 2}})
+	g, err := GraphFromEdgeFile(path, cfg.TempDir, []record.NodeID{7}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges != 3 {
+		t.Fatalf("NumEdges = %d", g.NumEdges)
+	}
+	if g.NumNodes != 4 { // 1,2,3 plus isolated 7
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes)
+	}
+}
+
+func TestSortAndDedupeEdges(t *testing.T) {
+	cfg := testConfig(t)
+	in := writeEdges(t, cfg, []record.Edge{{U: 3, V: 1}, {U: 1, V: 2}, {U: 3, V: 1}, {U: 2, V: 2}, {U: 1, V: 2}})
+	sorted := filepath.Join(t.TempDir(), "sorted.bin")
+	if err := SortEdges(in, sorted, record.EdgeBySource, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Keep self-loops.
+	out := filepath.Join(t.TempDir(), "dedup.bin")
+	n, err := DedupeEdges(sorted, out, false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("deduped to %d edges, want 3", n)
+	}
+	// Drop self-loops as well.
+	out2 := filepath.Join(t.TempDir(), "dedup2.bin")
+	n2, err := DedupeEdges(sorted, out2, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 2 {
+		t.Fatalf("deduped to %d edges, want 2", n2)
+	}
+}
+
+func TestDedupeNodes(t *testing.T) {
+	cfg := testConfig(t)
+	in := writeNodes(t, cfg, []record.NodeID{1, 1, 2, 2, 2, 5})
+	out := filepath.Join(t.TempDir(), "out.bin")
+	n, err := DedupeNodes(in, out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("got %d nodes, want 3", n)
+	}
+}
+
+func TestReverseEdges(t *testing.T) {
+	cfg := testConfig(t)
+	in := writeEdges(t, cfg, []record.Edge{{U: 1, V: 2}, {U: 3, V: 4}})
+	out := filepath.Join(t.TempDir(), "rev.bin")
+	if err := ReverseEdges(in, out, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := recio.ReadAll(out, record.EdgeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != (record.Edge{U: 2, V: 1}) || got[1] != (record.Edge{U: 4, V: 3}) {
+		t.Fatalf("reversed = %v", got)
+	}
+}
+
+func TestComputeDegrees(t *testing.T) {
+	cfg := testConfig(t)
+	// Graph: 1->2, 1->3, 2->3, 3->1, 4->4 (self-loop), 5->1 and node 6 has
+	// only an incoming edge 3->6.
+	edges := []record.Edge{{U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}, {U: 3, V: 1}, {U: 4, V: 4}, {U: 5, V: 1}, {U: 3, V: 6}}
+	in := writeEdges(t, cfg, edges)
+	eout := filepath.Join(t.TempDir(), "eout.bin")
+	ein := filepath.Join(t.TempDir(), "ein.bin")
+	if err := SortEdges(in, eout, record.EdgeBySource, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := SortEdges(in, ein, record.EdgeByTarget, cfg); err != nil {
+		t.Fatal(err)
+	}
+	vd := filepath.Join(t.TempDir(), "vd.bin")
+	n, err := ComputeDegrees(eout, ein, vd, false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("degree rows = %d, want 6", n)
+	}
+	rows, err := recio.ReadAll(vd, record.NodeDegreeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNode := map[record.NodeID]record.NodeDegree{}
+	for _, r := range rows {
+		byNode[r.Node] = r
+	}
+	checks := map[record.NodeID][2]uint32{
+		1: {2, 2}, // in from 3,5; out to 2,3
+		2: {1, 1},
+		3: {2, 2},
+		4: {1, 1}, // self loop counts on both sides
+		5: {0, 1},
+		6: {1, 0},
+	}
+	for node, want := range checks {
+		got := byNode[node]
+		if got.DegIn != want[0] || got.DegOut != want[1] {
+			t.Fatalf("node %d degrees = (%d,%d), want (%d,%d)", node, got.DegIn, got.DegOut, want[0], want[1])
+		}
+	}
+	// Rows must be sorted by node.
+	if !sort.SliceIsSorted(rows, func(i, j int) bool { return rows[i].Node < rows[j].Node }) {
+		t.Fatal("degree table not sorted")
+	}
+
+	// Type-1 filter drops nodes 5 and 6.
+	vd2 := filepath.Join(t.TempDir(), "vd2.bin")
+	n2, err := ComputeDegrees(eout, ein, vd2, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 4 {
+		t.Fatalf("filtered degree rows = %d, want 4", n2)
+	}
+}
+
+func TestSubtractNodes(t *testing.T) {
+	cfg := testConfig(t)
+	a := writeNodes(t, cfg, []record.NodeID{1, 2, 3, 4, 5})
+	b := writeNodes(t, cfg, []record.NodeID{2, 4, 9})
+	out := filepath.Join(t.TempDir(), "diff.bin")
+	n, err := SubtractNodes(a, b, out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := recio.ReadAll(out, record.NodeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []record.NodeID{1, 3, 5}
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("difference = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("difference = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMembershipFilter(t *testing.T) {
+	cfg := testConfig(t)
+	edges := []record.Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 2}}
+	nodes := writeNodes(t, cfg, []record.NodeID{2, 4})
+
+	byTarget := filepath.Join(t.TempDir(), "bt.bin")
+	in := writeEdges(t, cfg, edges)
+	if err := SortEdges(in, byTarget, record.EdgeByTarget, cfg); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(t.TempDir(), "keep.bin")
+	n, err := MembershipFilter(byTarget, nodes, keep, true, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // edges into 2 (two of them) and into 4
+		t.Fatalf("kept %d edges, want 3", n)
+	}
+	drop := filepath.Join(t.TempDir(), "drop.bin")
+	n, err = MembershipFilter(byTarget, nodes, drop, true, false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 { // only 2->3 has a target outside {2,4}
+		t.Fatalf("dropped-side has %d edges, want 1", n)
+	}
+
+	bySource := filepath.Join(t.TempDir(), "bs.bin")
+	if err := SortEdges(in, bySource, record.EdgeBySource, cfg); err != nil {
+		t.Fatal(err)
+	}
+	keepSrc := filepath.Join(t.TempDir(), "keepsrc.bin")
+	n, err = MembershipFilter(bySource, nodes, keepSrc, false, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 { // sources 2 and 4
+		t.Fatalf("kept %d edges by source, want 2", n)
+	}
+}
+
+func TestMembershipFilterPartition(t *testing.T) {
+	// keep=true plus keep=false must partition the input exactly.
+	cfg := testConfig(t)
+	f := func(raw []uint16, members []uint16) bool {
+		edges := make([]record.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, record.Edge{U: uint32(raw[i] % 32), V: uint32(raw[i+1] % 32)})
+		}
+		sort.Slice(edges, func(i, j int) bool { return record.EdgeByTarget(edges[i], edges[j]) })
+		nodeSet := map[record.NodeID]struct{}{}
+		for _, m := range members {
+			nodeSet[record.NodeID(m%32)] = struct{}{}
+		}
+		var nodes []record.NodeID
+		for n := range nodeSet {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+		in := writeEdges(t, cfg, edges)
+		np := writeNodes(t, cfg, nodes)
+		a := filepath.Join(t.TempDir(), "a.bin")
+		b := filepath.Join(t.TempDir(), "b.bin")
+		na, err := MembershipFilter(in, np, a, true, true, cfg)
+		if err != nil {
+			return false
+		}
+		nb, err := MembershipFilter(in, np, b, true, false, cfg)
+		if err != nil {
+			return false
+		}
+		return na+nb == int64(len(edges))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatEdges(t *testing.T) {
+	cfg := testConfig(t)
+	a := writeEdges(t, cfg, []record.Edge{{U: 1, V: 2}})
+	b := writeEdges(t, cfg, []record.Edge{{U: 3, V: 4}, {U: 5, V: 6}})
+	out := filepath.Join(t.TempDir(), "cat.bin")
+	n, err := ConcatEdges(out, cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("concatenated %d edges, want 3", n)
+	}
+}
+
+func TestMergeLabels(t *testing.T) {
+	cfg := testConfig(t)
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.bin")
+	b := filepath.Join(dir, "b.bin")
+	if err := recio.WriteSlice(a, record.LabelCodec{}, cfg, []record.Label{{Node: 1, SCC: 1}, {Node: 4, SCC: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := recio.WriteSlice(b, record.LabelCodec{}, cfg, []record.Label{{Node: 2, SCC: 2}, {Node: 3, SCC: 2}, {Node: 5, SCC: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "merged.bin")
+	n, err := MergeLabels(a, b, out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("merged %d labels, want 5", n)
+	}
+	got, err := recio.ReadAll(out, record.LabelCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Node < got[i-1].Node {
+			t.Fatalf("merged labels not sorted: %v", got)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package expansion implements the graph-expansion phase of Ext-SCC
+// (Section VI, Algorithm 5): given the SCC labels of the contracted graph
+// G_{i+1}, it recovers the SCC of every node removed when G_{i+1} was built
+// from G_i, using only sequential scans and external sorts.
+//
+// For a removed node v, Lemma 6.4 shows SCC(v, G_i) is determined by the SCC
+// sets of its in-neighbours and out-neighbours in G_i: if the two sets share
+// a component, v belongs to that (unique) component; otherwise v is a
+// singleton SCC.
+package expansion
+
+import (
+	"extscc/internal/blockio"
+	"extscc/internal/edgefile"
+	"extscc/internal/extsort"
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+// Input bundles what one expansion step needs.
+type Input struct {
+	// EdgePath is the edge file of G_i (any order).
+	EdgePath string
+	// RemovedPath is the sorted node file of V_i - V_{i+1}.
+	RemovedPath string
+	// KeptLabelsPath is the label file of V_{i+1} (SCC_{i+1}), sorted by node.
+	KeptLabelsPath string
+}
+
+// Result describes one expansion step.
+type Result struct {
+	// LabelPath is SCC_i: the labels of every node of V_i, sorted by node id.
+	LabelPath string
+	// NumLabels is |V_i|.
+	NumLabels int64
+	// RecoveredIntoExisting counts removed nodes that joined an SCC of the
+	// contracted graph.
+	RecoveredIntoExisting int64
+	// Singletons counts removed nodes that form single-node SCCs.
+	Singletons int64
+}
+
+// Expand computes SCC_i from SCC_{i+1}, writing all produced files into dir.
+func Expand(in Input, dir string, cfg iomodel.Config) (Result, error) {
+	e := &expander{in: in, dir: dir, cfg: cfg}
+	res, err := e.run()
+	e.cleanup()
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+type expander struct {
+	in    Input
+	dir   string
+	cfg   iomodel.Config
+	temps []string
+}
+
+func (e *expander) temp(prefix string) string {
+	p := blockio.TempFile(e.dir, prefix, e.cfg.Stats)
+	e.temps = append(e.temps, p)
+	return p
+}
+
+func (e *expander) keep(path string) {
+	for i, p := range e.temps {
+		if p == path {
+			e.temps = append(e.temps[:i], e.temps[i+1:]...)
+			return
+		}
+	}
+}
+
+func (e *expander) cleanup() {
+	for _, p := range e.temps {
+		blockio.Remove(p)
+	}
+}
+
+func (e *expander) run() (Result, error) {
+	// E'_in: for every removed node, its in-neighbours annotated with their
+	// SCC (augment(E_i), lines 2 and 8-14 of Algorithm 5).
+	ein, err := e.augment(e.in.EdgePath, false)
+	if err != nil {
+		return Result{}, err
+	}
+	// E'_out: the same over the reversed edges, yielding the out-neighbours.
+	reversed := e.temp("edges-reversed")
+	if err := edgefile.ReverseEdges(e.in.EdgePath, reversed, e.cfg); err != nil {
+		return Result{}, err
+	}
+	eout, err := e.augment(reversed, true)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// SCC_del: one label per removed node (line 4 of Algorithm 5).
+	removedLabels := e.temp("removed-labels")
+	recovered, singletons, err := e.intersect(ein, eout, removedLabels)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// SCC_i = SCC_{i+1} ∪ SCC_del, sorted by node id (lines 5-6).
+	labelPath := e.temp("labels")
+	n, err := edgefile.MergeLabels(e.in.KeptLabelsPath, removedLabels, labelPath, e.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	e.keep(labelPath)
+	return Result{
+		LabelPath:             labelPath,
+		NumLabels:             n,
+		RecoveredIntoExisting: recovered,
+		Singletons:            singletons,
+	}, nil
+}
+
+// augment implements the augment(E) procedure of Algorithm 5: it keeps the
+// edges whose target is a removed node, annotates the source endpoint with
+// its SCC in the contracted graph (edges from unlabelled, i.e. also-removed,
+// neighbours are dropped — such neighbours are trivial SCCs and can never
+// witness membership), and sorts the result by (target, SCC, source).
+func (e *expander) augment(edgePath string, reversedInput bool) (string, error) {
+	suffix := "in"
+	if reversedInput {
+		suffix = "out"
+	}
+
+	// Sort by target and keep only edges into removed nodes.
+	byTarget := e.temp("aug-" + suffix + "-by-target")
+	if err := edgefile.SortEdges(edgePath, byTarget, record.EdgeByTarget, e.cfg); err != nil {
+		return "", err
+	}
+	toRemoved := e.temp("aug-" + suffix + "-to-removed")
+	if _, err := edgefile.MembershipFilter(byTarget, e.in.RemovedPath, toRemoved, true, true, e.cfg); err != nil {
+		return "", err
+	}
+
+	// Sort by source and annotate the source with its SCC label.
+	bySource := e.temp("aug-" + suffix + "-by-source")
+	if err := edgefile.SortEdges(toRemoved, bySource, record.EdgeBySource, e.cfg); err != nil {
+		return "", err
+	}
+	annotated := e.temp("aug-" + suffix + "-annotated")
+	if err := e.annotateWithLabels(bySource, annotated); err != nil {
+		return "", err
+	}
+
+	// Final order: (target, SCC, source), so the SCC sets of each removed
+	// node are grouped and sorted for a linear intersection.
+	out := e.temp("aug-" + suffix)
+	sorter := extsort.New[record.EdgeSCC](record.EdgeSCCCodec{}, record.EdgeSCCByTargetSCC, e.cfg)
+	if err := sorter.SortFile(annotated, out); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// annotateWithLabels merge-joins the edge file at edgePath (sorted by source)
+// with the kept-label file (sorted by node), writing EdgeSCC records; edges
+// whose source has no label are dropped.
+func (e *expander) annotateWithLabels(edgePath, outPath string) error {
+	eR, err := recio.NewReader(edgePath, record.EdgeCodec{}, e.cfg)
+	if err != nil {
+		return err
+	}
+	defer eR.Close()
+	lR, err := recio.NewReader(e.in.KeptLabelsPath, record.LabelCodec{}, e.cfg)
+	if err != nil {
+		return err
+	}
+	defer lR.Close()
+	w, err := recio.NewWriter(outPath, record.EdgeSCCCodec{}, e.cfg)
+	if err != nil {
+		return err
+	}
+	edges := recio.NewPeekable[record.Edge](eR.Iter())
+	labels := recio.NewPeekable[record.Label](lR.Iter())
+	for edges.Valid() {
+		edge := edges.Pop()
+		for labels.Valid() && labels.Peek().Node < edge.U {
+			labels.Pop()
+		}
+		if labels.Valid() && labels.Peek().Node == edge.U {
+			rec := record.EdgeSCC{U: edge.U, V: edge.V, SCC: labels.Peek().SCC}
+			if err := w.Write(rec); err != nil {
+				w.Close()
+				return err
+			}
+		}
+	}
+	if err := edges.Err(); err != nil {
+		w.Close()
+		return err
+	}
+	if err := labels.Err(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// intersect merge-joins E'_in, E'_out and the removed-node list on the
+// removed node, intersecting the two (sorted) SCC sets of each node.  A
+// non-empty intersection pins the node to that SCC (Lemma 6.2); otherwise the
+// node is a singleton SCC labelled with its own id (Lemma 6.3).
+func (e *expander) intersect(einPath, eoutPath, outPath string) (recovered, singletons int64, err error) {
+	inR, err := recio.NewReader(einPath, record.EdgeSCCCodec{}, e.cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer inR.Close()
+	outR, err := recio.NewReader(eoutPath, record.EdgeSCCCodec{}, e.cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer outR.Close()
+	remR, err := recio.NewReader(e.in.RemovedPath, record.NodeCodec{}, e.cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer remR.Close()
+	w, err := recio.NewWriter(outPath, record.LabelCodec{}, e.cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	ins := recio.NewPeekable[record.EdgeSCC](inR.Iter())
+	outs := recio.NewPeekable[record.EdgeSCC](outR.Iter())
+	removed := recio.NewPeekable[record.NodeID](remR.Iter())
+
+	for removed.Valid() {
+		v := removed.Pop()
+		// Advance both annotated streams to node v's group and intersect the
+		// two ascending SCC sequences.
+		for ins.Valid() && ins.Peek().V < v {
+			ins.Pop()
+		}
+		for outs.Valid() && outs.Peek().V < v {
+			outs.Pop()
+		}
+		common, found := record.SCCID(0), false
+		for ins.Valid() && ins.Peek().V == v && outs.Valid() && outs.Peek().V == v {
+			a, b := ins.Peek().SCC, outs.Peek().SCC
+			switch {
+			case a == b:
+				common, found = a, true
+			case a < b:
+				ins.Pop()
+				continue
+			default:
+				outs.Pop()
+				continue
+			}
+			break
+		}
+		// Drain the rest of v's groups so the streams stay aligned.
+		for ins.Valid() && ins.Peek().V == v {
+			ins.Pop()
+		}
+		for outs.Valid() && outs.Peek().V == v {
+			outs.Pop()
+		}
+		label := record.Label{Node: v, SCC: v}
+		if found {
+			label.SCC = common
+			recovered++
+		} else {
+			singletons++
+		}
+		if err := w.Write(label); err != nil {
+			w.Close()
+			return 0, 0, err
+		}
+	}
+	for _, p := range []error{ins.Err(), outs.Err(), removed.Err()} {
+		if p != nil {
+			w.Close()
+			return 0, 0, p
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, 0, err
+	}
+	return recovered, singletons, nil
+}

@@ -1,0 +1,309 @@
+// Package extsort implements a memory-bounded, I/O-accounted external merge
+// sort over files of fixed-size records.  It is the sort(m) primitive of the
+// paper's cost model: run formation uses at most the configured memory budget
+// and the k-way merge fan-in is derived from M/B, so the number of merge
+// passes matches Theta(log_{M/B}(m/B)).
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+
+	"extscc/internal/blockio"
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+// Sorter sorts record files of type T under a fixed comparator.
+type Sorter[T any] struct {
+	codec record.Codec[T]
+	less  func(a, b T) bool
+	cfg   iomodel.Config
+}
+
+// New returns a Sorter for records of type T ordered by less, operating under
+// the memory budget and block size of cfg.
+func New[T any](codec record.Codec[T], less func(a, b T) bool, cfg iomodel.Config) *Sorter[T] {
+	return &Sorter[T]{codec: codec, less: less, cfg: cfg}
+}
+
+// runCapacity returns the number of records sorted in memory per run.  Half
+// of the memory budget is reserved for the record slice; the remainder covers
+// block buffers and bookkeeping.
+func (s *Sorter[T]) runCapacity() int {
+	capRecords := int(s.cfg.Memory / 2 / int64(s.codec.Size()))
+	if capRecords < 4 {
+		capRecords = 4
+	}
+	return capRecords
+}
+
+// SortFile sorts the record file at inPath into a new file at outPath.
+// The input file is left untouched.
+func (s *Sorter[T]) SortFile(inPath, outPath string) error {
+	r, err := recio.NewReader(inPath, s.codec, s.cfg)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	return s.SortStream(r.Iter(), outPath)
+}
+
+// SortStream sorts all records produced by in into a new file at outPath.
+func (s *Sorter[T]) SortStream(in recio.Iterator[T], outPath string) error {
+	runs, err := s.formRuns(in)
+	if err != nil {
+		removeAll(runs)
+		return err
+	}
+	if err := s.mergeRuns(runs, outPath); err != nil {
+		removeAll(runs)
+		return err
+	}
+	return nil
+}
+
+// SortSlice sorts recs in memory using the Sorter's comparator.  It exists so
+// callers have a single definition of each sort order; no I/O is charged.
+func (s *Sorter[T]) SortSlice(recs []T) {
+	sort.SliceStable(recs, func(i, j int) bool { return s.less(recs[i], recs[j]) })
+}
+
+// formRuns splits the input stream into sorted runs, each at most
+// runCapacity() records, and writes every run to a temporary file.
+func (s *Sorter[T]) formRuns(in recio.Iterator[T]) ([]string, error) {
+	capRecords := s.runCapacity()
+	var runs []string
+	buf := make([]T, 0, capRecords)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		s.SortSlice(buf)
+		path := blockio.TempFile(s.cfg.TempDir, "extsort-run", s.cfg.Stats)
+		if err := recio.WriteSlice(path, s.codec, s.cfg, buf); err != nil {
+			return err
+		}
+		s.cfg.Stats.CountSortRun(int64(len(buf)))
+		runs = append(runs, path)
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		rec, ok, err := in.Next()
+		if err != nil {
+			return runs, err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, rec)
+		if len(buf) == capRecords {
+			if err := flush(); err != nil {
+				return runs, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return runs, err
+	}
+	return runs, nil
+}
+
+// mergeRuns repeatedly merges groups of at most SortFanIn() runs until a
+// single sorted file remains, then renames/copies it to outPath.
+func (s *Sorter[T]) mergeRuns(runs []string, outPath string) error {
+	if len(runs) == 0 {
+		// An empty input still produces an (empty) output file.
+		w, err := recio.NewWriter(outPath, s.codec, s.cfg)
+		if err != nil {
+			return err
+		}
+		return w.Close()
+	}
+	fanIn := s.cfg.SortFanIn()
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	current := runs
+	for len(current) > 1 {
+		s.cfg.Stats.CountMergePass()
+		var next []string
+		for start := 0; start < len(current); start += fanIn {
+			end := start + fanIn
+			if end > len(current) {
+				end = len(current)
+			}
+			group := current[start:end]
+			var target string
+			if len(current) <= fanIn {
+				target = outPath
+			} else {
+				target = blockio.TempFile(s.cfg.TempDir, "extsort-merge", s.cfg.Stats)
+			}
+			if err := s.mergeGroup(group, target); err != nil {
+				removeAll(next)
+				return err
+			}
+			removeAll(group)
+			next = append(next, target)
+		}
+		current = next
+	}
+	if current[0] != outPath {
+		// Single run: stream-copy it to the destination (charged as one scan).
+		if err := s.copyFile(current[0], outPath); err != nil {
+			return err
+		}
+		removeAll(current)
+	}
+	return nil
+}
+
+// mergeItem is one heap entry of the k-way merge.
+type mergeItem[T any] struct {
+	rec T
+	src int
+}
+
+type mergeHeap[T any] struct {
+	items []mergeItem[T]
+	less  func(a, b T) bool
+}
+
+func (h *mergeHeap[T]) Len() int            { return len(h.items) }
+func (h *mergeHeap[T]) Less(i, j int) bool  { return h.less(h.items[i].rec, h.items[j].rec) }
+func (h *mergeHeap[T]) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap[T]) Push(x any)          { h.items = append(h.items, x.(mergeItem[T])) }
+func (h *mergeHeap[T]) Pop() any            { n := len(h.items); it := h.items[n-1]; h.items = h.items[:n-1]; return it }
+func (h *mergeHeap[T]) peek() mergeItem[T]  { return h.items[0] }
+func (h *mergeHeap[T]) fix(it mergeItem[T]) { h.items[0] = it; heap.Fix(h, 0) }
+
+// mergeGroup merges the sorted run files in group into a single sorted file
+// at target.
+func (s *Sorter[T]) mergeGroup(group []string, target string) error {
+	readers := make([]*recio.Reader[T], len(group))
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+	h := &mergeHeap[T]{less: s.less}
+	for i, path := range group {
+		r, err := recio.NewReader(path, s.codec, s.cfg)
+		if err != nil {
+			return err
+		}
+		readers[i] = r
+		rec, err := r.Read()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		h.items = append(h.items, mergeItem[T]{rec: rec, src: i})
+	}
+	heap.Init(h)
+	w, err := recio.NewWriter(target, s.codec, s.cfg)
+	if err != nil {
+		return err
+	}
+	for h.Len() > 0 {
+		top := h.peek()
+		if err := w.Write(top.rec); err != nil {
+			w.Close()
+			return err
+		}
+		rec, err := readers[top.src].Read()
+		if err == io.EOF {
+			heap.Pop(h)
+			continue
+		}
+		if err != nil {
+			w.Close()
+			return err
+		}
+		h.fix(mergeItem[T]{rec: rec, src: top.src})
+	}
+	return w.Close()
+}
+
+// copyFile streams the record file at src to dst.
+func (s *Sorter[T]) copyFile(src, dst string) error {
+	r, err := recio.NewReader(src, s.codec, s.cfg)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	_, err = recio.WriteAll(dst, s.codec, s.cfg, r.Iter())
+	return err
+}
+
+func removeAll(paths []string) {
+	for _, p := range paths {
+		blockio.Remove(p)
+	}
+}
+
+// Sorted reports whether the record file at path is sorted under less.  It is
+// a verification helper used by tests and cmd/sccverify.
+func Sorted[T any](path string, codec record.Codec[T], less func(a, b T) bool, cfg iomodel.Config) (bool, error) {
+	r, err := recio.NewReader(path, codec, cfg)
+	if err != nil {
+		return false, err
+	}
+	defer r.Close()
+	var prev T
+	first := true
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		if !first && less(rec, prev) {
+			return false, nil
+		}
+		prev = rec
+		first = false
+	}
+}
+
+// SortFileInPlace sorts the record file at path, replacing its contents.
+func SortFileInPlace[T any](path string, codec record.Codec[T], less func(a, b T) bool, cfg iomodel.Config) error {
+	tmp := blockio.TempFile(cfg.TempDir, "extsort-inplace", cfg.Stats)
+	s := New(codec, less, cfg)
+	if err := s.SortFile(path, tmp); err != nil {
+		blockio.Remove(tmp)
+		return err
+	}
+	if err := replaceFile(tmp, path, codec, cfg); err != nil {
+		blockio.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// replaceFile moves src over dst.  A plain rename is free of I/O in the model
+// (metadata only), matching how the paper treats renaming intermediate files.
+func replaceFile[T any](src, dst string, codec record.Codec[T], cfg iomodel.Config) error {
+	if err := blockio.Remove(dst); err != nil {
+		return err
+	}
+	return renameFile(src, dst)
+}
+
+func renameFile(src, dst string) error {
+	if err := osRename(src, dst); err != nil {
+		return fmt.Errorf("extsort: rename %s -> %s: %w", src, dst, err)
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package extsort
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+func testConfig(t *testing.T, memory int64) iomodel.Config {
+	t.Helper()
+	return iomodel.Config{
+		BlockSize: 64,
+		Memory:    memory,
+		TempDir:   t.TempDir(),
+		Stats:     &iomodel.Stats{},
+	}
+}
+
+func randomEdges(n int, rng *rand.Rand) []record.Edge {
+	edges := make([]record.Edge, n)
+	for i := range edges {
+		edges[i] = record.Edge{U: rng.Uint32() % 1000, V: rng.Uint32() % 1000}
+	}
+	return edges
+}
+
+func sortAndVerify(t *testing.T, cfg iomodel.Config, edges []record.Edge) {
+	t.Helper()
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	if err := recio.WriteSlice(in, record.EdgeCodec{}, cfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	s := New[record.Edge](record.EdgeCodec{}, record.EdgeBySource, cfg)
+	if err := s.SortFile(in, out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := recio.ReadAll(out, record.EdgeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("output has %d records, want %d", len(got), len(edges))
+	}
+	want := append([]record.Edge(nil), edges...)
+	sort.SliceStable(want, func(i, j int) bool { return record.EdgeBySource(want[i], want[j]) })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	ok, err := Sorted(out, record.EdgeCodec{}, record.EdgeBySource, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Sorted reports unsorted output")
+	}
+}
+
+func TestSortSmallFitsInMemory(t *testing.T) {
+	cfg := testConfig(t, 1<<20)
+	rng := rand.New(rand.NewSource(1))
+	sortAndVerify(t, cfg, randomEdges(100, rng))
+}
+
+func TestSortEmptyInput(t *testing.T) {
+	cfg := testConfig(t, 1<<20)
+	sortAndVerify(t, cfg, nil)
+}
+
+func TestSortSingleRecord(t *testing.T) {
+	cfg := testConfig(t, 1<<20)
+	sortAndVerify(t, cfg, []record.Edge{{U: 7, V: 3}})
+}
+
+func TestSortAlreadySorted(t *testing.T) {
+	cfg := testConfig(t, 1<<20)
+	var edges []record.Edge
+	for i := uint32(0); i < 500; i++ {
+		edges = append(edges, record.Edge{U: i, V: i})
+	}
+	sortAndVerify(t, cfg, edges)
+}
+
+func TestSortReverseSorted(t *testing.T) {
+	cfg := testConfig(t, 1<<20)
+	var edges []record.Edge
+	for i := 500; i > 0; i-- {
+		edges = append(edges, record.Edge{U: uint32(i), V: uint32(i)})
+	}
+	sortAndVerify(t, cfg, edges)
+}
+
+func TestSortWithDuplicates(t *testing.T) {
+	cfg := testConfig(t, 1<<20)
+	var edges []record.Edge
+	for i := 0; i < 300; i++ {
+		edges = append(edges, record.Edge{U: uint32(i % 7), V: uint32(i % 3)})
+	}
+	sortAndVerify(t, cfg, edges)
+}
+
+func TestSortMultiRunMerge(t *testing.T) {
+	// A tiny memory budget forces multiple runs and at least one merge pass.
+	cfg := testConfig(t, 256)
+	rng := rand.New(rand.NewSource(2))
+	edges := randomEdges(2000, rng)
+	sortAndVerify(t, cfg, edges)
+	sn := cfg.Stats.Snapshot()
+	if sn.SortRuns < 2 {
+		t.Fatalf("expected multiple runs, got %d", sn.SortRuns)
+	}
+	if sn.MergePasses < 1 {
+		t.Fatalf("expected at least one merge pass, got %d", sn.MergePasses)
+	}
+}
+
+func TestSortMultiPassMerge(t *testing.T) {
+	// Memory of 256 bytes with 64-byte blocks gives fan-in 3, so 4000 records
+	// (=> many runs) require more than one merge pass.
+	cfg := testConfig(t, 256)
+	rng := rand.New(rand.NewSource(3))
+	sortAndVerify(t, cfg, randomEdges(4000, rng))
+	if cfg.Stats.Snapshot().MergePasses < 2 {
+		t.Fatalf("expected multi-pass merge, got %d passes", cfg.Stats.Snapshot().MergePasses)
+	}
+}
+
+func TestSortByTargetOrder(t *testing.T) {
+	cfg := testConfig(t, 512)
+	rng := rand.New(rand.NewSource(4))
+	edges := randomEdges(1000, rng)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	if err := recio.WriteSlice(in, record.EdgeCodec{}, cfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	s := New[record.Edge](record.EdgeCodec{}, record.EdgeByTarget, cfg)
+	if err := s.SortFile(in, out); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Sorted(out, record.EdgeCodec{}, record.EdgeByTarget, cfg)
+	if err != nil || !ok {
+		t.Fatalf("not sorted by target: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSortStreamFromSlice(t *testing.T) {
+	cfg := testConfig(t, 512)
+	out := filepath.Join(t.TempDir(), "out.bin")
+	nodes := []record.NodeID{9, 3, 7, 1, 3, 2}
+	s := New[record.NodeID](record.NodeCodec{}, record.NodeLess, cfg)
+	if err := s.SortStream(recio.NewSliceIterator(nodes), out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := recio.ReadAll(out, record.NodeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []record.NodeID{1, 2, 3, 3, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortFileInPlace(t *testing.T) {
+	cfg := testConfig(t, 512)
+	path := filepath.Join(t.TempDir(), "inplace.bin")
+	if err := recio.WriteSlice(path, record.NodeCodec{}, cfg, []record.NodeID{5, 1, 4, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SortFileInPlace(path, record.NodeCodec{}, record.NodeLess, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := recio.ReadAll(path, record.NodeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []record.NodeID{1, 2, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortedDetectsUnsorted(t *testing.T) {
+	cfg := testConfig(t, 512)
+	path := filepath.Join(t.TempDir(), "unsorted.bin")
+	if err := recio.WriteSlice(path, record.NodeCodec{}, cfg, []record.NodeID{2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Sorted(path, record.NodeCodec{}, record.NodeLess, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Sorted failed to detect unsorted file")
+	}
+}
+
+func TestSortIsPermutationProperty(t *testing.T) {
+	cfg := testConfig(t, 256)
+	dir := t.TempDir()
+	i := 0
+	f := func(raw []uint32) bool {
+		i++
+		edges := make([]record.Edge, len(raw))
+		for j, r := range raw {
+			edges[j] = record.Edge{U: r % 64, V: (r >> 8) % 64}
+		}
+		in := filepath.Join(dir, "in.bin")
+		out := filepath.Join(dir, "out.bin")
+		if err := recio.WriteSlice(in, record.EdgeCodec{}, cfg, edges); err != nil {
+			return false
+		}
+		s := New[record.Edge](record.EdgeCodec{}, record.EdgeBySource, cfg)
+		if err := s.SortFile(in, out); err != nil {
+			return false
+		}
+		got, err := recio.ReadAll(out, record.EdgeCodec{}, cfg)
+		if err != nil || len(got) != len(edges) {
+			return false
+		}
+		// Multiset equality via counting.
+		counts := map[record.Edge]int{}
+		for _, e := range edges {
+			counts[e]++
+		}
+		for _, e := range got {
+			counts[e]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		// Order check.
+		for j := 1; j < len(got); j++ {
+			if record.EdgeBySource(got[j], got[j-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortChargesIO(t *testing.T) {
+	cfg := testConfig(t, 256)
+	rng := rand.New(rand.NewSource(5))
+	edges := randomEdges(1000, rng)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	if err := recio.WriteSlice(in, record.EdgeCodec{}, cfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	before := cfg.Stats.Snapshot()
+	s := New[record.Edge](record.EdgeCodec{}, record.EdgeBySource, cfg)
+	if err := s.SortFile(in, out); err != nil {
+		t.Fatal(err)
+	}
+	delta := cfg.Stats.Snapshot().Sub(before)
+	if delta.ReadBlocks == 0 || delta.WriteBlocks == 0 {
+		t.Fatalf("sort charged no I/O: %+v", delta)
+	}
+	// External sort must be dominated by sequential access: random I/Os stay
+	// far below total I/Os.
+	if delta.RandomIOs() > delta.TotalIOs()/2 {
+		t.Fatalf("sort performed too many random I/Os: %+v", delta)
+	}
+}

@@ -1,0 +1,6 @@
+package extsort
+
+import "os"
+
+// osRename is a seam for tests; it defaults to os.Rename.
+var osRename = os.Rename

@@ -1,0 +1,319 @@
+package graphgen
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"extscc/internal/iomodel"
+	"extscc/internal/memgraph"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+func testConfig(t *testing.T) iomodel.Config {
+	t.Helper()
+	return iomodel.Config{BlockSize: 1024, Memory: 1 << 20, TempDir: t.TempDir(), Stats: &iomodel.Stats{}}
+}
+
+func TestSyntheticValidate(t *testing.T) {
+	ok := SyntheticParams{NumNodes: 100, AvgDegree: 2, LargeSCCSize: 10, LargeSCCCount: 2}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SyntheticParams{
+		{NumNodes: 0},
+		{NumNodes: 10, AvgDegree: -1},
+		{NumNodes: 10, MassiveSCCSize: 20, MassiveSCCCount: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	p := SyntheticParams{NumNodes: 200, AvgDegree: 3, LargeSCCSize: 20, LargeSCCCount: 3, Seed: 5}
+	a, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSyntheticPlantedSCCsExist(t *testing.T) {
+	p := SyntheticParams{NumNodes: 400, AvgDegree: 1, MassiveSCCSize: 80, MassiveSCCCount: 1, LargeSCCSize: 20, LargeSCCCount: 3, SmallSCCSize: 5, SmallSCCCount: 10, Seed: 9}
+	edges, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(edges)) < p.TargetEdges() {
+		t.Fatalf("generated %d edges, want at least %d", len(edges), p.TargetEdges())
+	}
+	res := memgraph.FromEdges(edges, p.AllNodes()).Tarjan()
+	sizes := res.Sizes()
+	max := 0
+	inNontrivial := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+		if s > 1 {
+			inNontrivial += s
+		}
+	}
+	// The planted massive SCC can only grow through background edges, and the
+	// planted members (285 nodes) stay inside non-trivial components.
+	if max < 80 {
+		t.Fatalf("largest SCC has %d nodes, want >= 80", max)
+	}
+	if inNontrivial < 100 {
+		t.Fatalf("only %d nodes are in non-trivial SCCs, want >= 100", inNontrivial)
+	}
+}
+
+func TestSyntheticWriteToMatchesGenerate(t *testing.T) {
+	cfg := testConfig(t)
+	p := SyntheticParams{NumNodes: 150, AvgDegree: 2, LargeSCCSize: 10, LargeSCCCount: 2, Seed: 4}
+	path := filepath.Join(t.TempDir(), "edges.bin")
+	n, err := p.WriteTo(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(mem)) {
+		t.Fatalf("WriteTo wrote %d edges, Generate produced %d", n, len(mem))
+	}
+	got, err := recio.ReadAll(path, record.EdgeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mem {
+		if got[i] != mem[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestTableOnePresets(t *testing.T) {
+	for name, p := range map[string]SyntheticParams{
+		"massive": MassiveSCCParams(1000),
+		"large":   LargeSCCParams(1000),
+		"small":   SmallSCCParams(1000),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s preset invalid: %v", name, err)
+		}
+		if p.NumNodes != 100_000 {
+			t.Fatalf("%s preset NumNodes = %d, want 100000", name, p.NumNodes)
+		}
+		if p.AvgDegree != 4 {
+			t.Fatalf("%s preset AvgDegree = %d, want 4", name, p.AvgDegree)
+		}
+	}
+	if MassiveSCCParams(1000).MassiveSCCSize != 400 {
+		t.Fatalf("massive SCC size = %d, want 400", MassiveSCCParams(1000).MassiveSCCSize)
+	}
+	if LargeSCCParams(1000).LargeSCCCount != 50 {
+		t.Fatal("large SCC count should stay 50")
+	}
+	if SmallSCCParams(1000).SmallSCCSize != 40 {
+		t.Fatal("small SCC size should stay 40")
+	}
+	// Extreme scales must still validate.
+	for _, scale := range []int{100, 1000, 10000, 1000000} {
+		for _, p := range []SyntheticParams{MassiveSCCParams(scale), LargeSCCParams(scale), SmallSCCParams(scale)} {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("scale %d: %v", scale, err)
+			}
+		}
+	}
+}
+
+func TestWebGraphValidate(t *testing.T) {
+	if err := DefaultWebGraphParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []WebGraphParams{
+		{NumNodes: 0, AvgDegree: 1, HostSize: 1},
+		{NumNodes: 10, AvgDegree: 0, HostSize: 1},
+		{NumNodes: 10, AvgDegree: 1, HostSize: 0},
+		{NumNodes: 10, AvgDegree: 1, HostSize: 1, CoreFraction: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestWebGraphHasGiantSCC(t *testing.T) {
+	p := WebGraphParams{NumNodes: 2000, AvgDegree: 8, CoreFraction: 0.3, HostSize: 50, Seed: 3}
+	edges, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := memgraph.FromEdges(edges, p.AllNodes()).Tarjan()
+	max := 0
+	for _, s := range res.Sizes() {
+		if s > max {
+			max = s
+		}
+	}
+	if max < 600 {
+		t.Fatalf("giant SCC has %d nodes, want >= 600 (30%% core)", max)
+	}
+	// Average degree should be in the right ballpark (heavy tail tolerated).
+	avg := float64(len(edges)) / float64(p.NumNodes)
+	if avg < 2 || avg > 40 {
+		t.Fatalf("average degree %.1f far from requested %d", avg, p.AvgDegree)
+	}
+}
+
+func TestWebGraphDeterministicAndStreams(t *testing.T) {
+	cfg := testConfig(t)
+	p := WebGraphParams{NumNodes: 500, AvgDegree: 5, CoreFraction: 0.2, HostSize: 25, Seed: 11}
+	a, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "web.bin")
+	n, err := p.WriteTo(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(a)) {
+		t.Fatalf("streamed %d edges, in-memory %d", n, len(a))
+	}
+}
+
+func TestStructuredGenerators(t *testing.T) {
+	if res := memgraph.FromEdges(Cycle(10), nil).Tarjan(); res.Count != 1 {
+		t.Fatalf("Cycle(10) has %d SCCs, want 1", res.Count)
+	}
+	if res := memgraph.FromEdges(Path(10), nil).Tarjan(); res.Count != 10 {
+		t.Fatalf("Path(10) has %d SCCs, want 10", res.Count)
+	}
+	dag := DAGLayered(50, 120, 1)
+	if len(dag) != 120 {
+		t.Fatalf("DAGLayered produced %d edges", len(dag))
+	}
+	res := memgraph.FromEdges(dag, nil).Tarjan()
+	for _, s := range res.Sizes() {
+		if s > 1 {
+			t.Fatal("DAGLayered produced a cycle")
+		}
+	}
+	rnd := Random(30, 90, 2)
+	if len(rnd) != 90 {
+		t.Fatalf("Random produced %d edges", len(rnd))
+	}
+	for _, e := range rnd {
+		if e.U == e.V {
+			t.Fatal("Random produced a self-loop")
+		}
+		if int(e.U) >= 30 || int(e.V) >= 30 {
+			t.Fatal("Random produced an out-of-range node")
+		}
+	}
+}
+
+func TestDAGLayeredEdgesAreForward(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, e := range DAGLayered(40, 80, seed) {
+			if e.U >= e.V {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	edges, nodes := PaperExample()
+	if len(edges) != 20 || len(nodes) != 13 {
+		t.Fatalf("PaperExample has %d edges and %d nodes, want 20 and 13", len(edges), len(nodes))
+	}
+	res := memgraph.FromEdges(edges, nodes).Tarjan()
+	if res.Count != 5 {
+		t.Fatalf("PaperExample has %d SCCs, want 5 (Example 3.1)", res.Count)
+	}
+	sizes := res.Sizes()
+	counts := map[int]int{}
+	for _, s := range sizes {
+		counts[s]++
+	}
+	if counts[6] != 1 || counts[4] != 1 || counts[1] != 3 {
+		t.Fatalf("SCC size distribution %v, want one 6, one 4, three 1", counts)
+	}
+}
+
+func TestSampleEdges(t *testing.T) {
+	cfg := testConfig(t)
+	full := filepath.Join(t.TempDir(), "full.bin")
+	edges := Random(100, 2000, 4)
+	if err := recio.WriteSlice(full, record.EdgeCodec{}, cfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	for _, pct := range []int{0, 20, 50, 100} {
+		out := filepath.Join(t.TempDir(), "sample.bin")
+		n, err := SampleEdges(full, out, pct, 1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch pct {
+		case 0:
+			if n != 0 {
+				t.Fatalf("0%% sample has %d edges", n)
+			}
+		case 100:
+			if n != int64(len(edges)) {
+				t.Fatalf("100%% sample has %d edges, want %d", n, len(edges))
+			}
+		default:
+			lo := int64(float64(len(edges)) * float64(pct) / 100 * 0.7)
+			hi := int64(float64(len(edges)) * float64(pct) / 100 * 1.3)
+			if n < lo || n > hi {
+				t.Fatalf("%d%% sample has %d edges, want within [%d,%d]", pct, n, lo, hi)
+			}
+		}
+	}
+	if _, err := SampleEdges(full, filepath.Join(t.TempDir(), "bad.bin"), 150, 1, cfg); err == nil {
+		t.Fatal("expected error for percent > 100")
+	}
+}
+
+func TestHeavyTailDegreeBounded(t *testing.T) {
+	p := WebGraphParams{NumNodes: 100, AvgDegree: 5, CoreFraction: 0, HostSize: 10, Seed: 2}
+	edges, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outdeg := map[record.NodeID]int{}
+	for _, e := range edges {
+		outdeg[e.U]++
+	}
+	for n, d := range outdeg {
+		if d > 5*50+1 {
+			t.Fatalf("node %d has out-degree %d, above the bounded-Pareto cap", n, d)
+		}
+	}
+}

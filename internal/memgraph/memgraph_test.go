@@ -1,0 +1,248 @@
+package memgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"extscc/internal/record"
+)
+
+func labelsOf(t *testing.T, edges []record.Edge, extra []record.NodeID) ([]record.Label, []record.Label) {
+	t.Helper()
+	g := FromEdges(edges, extra)
+	return g.Tarjan().Labels(), g.Kosaraju().Labels()
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New()
+	res := g.Tarjan()
+	if res.Count != 0 || len(res.Comp) != 0 {
+		t.Fatalf("empty graph: %+v", res)
+	}
+	if len(g.Nodes()) != 0 || g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph has nodes or edges")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := FromEdges(nil, []record.NodeID{7})
+	res := g.Tarjan()
+	if res.Count != 1 {
+		t.Fatalf("Count = %d", res.Count)
+	}
+	labels := res.Labels()
+	if len(labels) != 1 || labels[0].Node != 7 || labels[0].SCC != 7 {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := FromEdges([]record.Edge{{U: 3, V: 3}}, nil)
+	res := g.Tarjan()
+	if res.Count != 1 {
+		t.Fatalf("self-loop should be one SCC, got %d", res.Count)
+	}
+}
+
+func TestTwoNodeCycle(t *testing.T) {
+	res := FromEdges([]record.Edge{{U: 1, V: 2}, {U: 2, V: 1}}, nil).Tarjan()
+	if res.Count != 1 {
+		t.Fatalf("Count = %d, want 1", res.Count)
+	}
+	if !res.SameSCC(1, 2) {
+		t.Fatal("1 and 2 should share an SCC")
+	}
+}
+
+func TestPathIsAllSingletons(t *testing.T) {
+	edges := []record.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}
+	res := FromEdges(edges, nil).Tarjan()
+	if res.Count != 4 {
+		t.Fatalf("Count = %d, want 4", res.Count)
+	}
+	if res.SameSCC(0, 3) {
+		t.Fatal("path nodes must not share an SCC")
+	}
+}
+
+func TestPaperFigure1(t *testing.T) {
+	// Fig. 1 of the paper: SCC1 = {b..g} (1..6), SCC2 = {i,j,k,l} (8..11),
+	// and a, h, m are singletons: 5 SCCs in total.
+	edges := []record.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 1}, {U: 2, V: 4}, {U: 4, V: 6}, {U: 6, V: 7}, {U: 5, V: 7}, {U: 7, V: 8}, {U: 8, V: 9}, {U: 9, V: 10}, {U: 10, V: 11}, {U: 11, V: 8}, {U: 8, V: 10}, {U: 9, V: 12}, {U: 10, V: 8}, {U: 11, V: 9},
+	}
+	var nodes []record.NodeID
+	for i := uint32(0); i < 13; i++ {
+		nodes = append(nodes, i)
+	}
+	res := FromEdges(edges, nodes).Tarjan()
+	if res.Count != 5 {
+		t.Fatalf("Count = %d, want 5", res.Count)
+	}
+	for _, pair := range [][2]record.NodeID{{1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 6}} {
+		if !res.SameSCC(pair[0], pair[1]) {
+			t.Fatalf("nodes %d and %d should share SCC1", pair[0], pair[1])
+		}
+	}
+	for _, pair := range [][2]record.NodeID{{8, 9}, {8, 10}, {8, 11}} {
+		if !res.SameSCC(pair[0], pair[1]) {
+			t.Fatalf("nodes %d and %d should share SCC2", pair[0], pair[1])
+		}
+	}
+	for _, single := range []record.NodeID{0, 7, 12} {
+		for _, other := range []record.NodeID{1, 8} {
+			if res.SameSCC(single, other) {
+				t.Fatalf("node %d should be a singleton", single)
+			}
+		}
+	}
+	sizes := res.Sizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 13 {
+		t.Fatalf("sizes sum to %d, want 13", total)
+	}
+}
+
+func TestTarjanMatchesKosaraju(t *testing.T) {
+	cases := [][]record.Edge{
+		nil,
+		{{U: 0, V: 1}},
+		{{U: 0, V: 1}, {U: 1, V: 0}},
+		{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 3}},
+		{{U: 5, V: 5}, {U: 5, V: 6}, {U: 6, V: 5}, {U: 7, V: 8}},
+	}
+	for i, edges := range cases {
+		tar, kos := labelsOf(t, edges, []record.NodeID{0, 9})
+		if !SameSCCPartition(tar, kos) {
+			t.Fatalf("case %d: Tarjan and Kosaraju disagree\n%v\n%v", i, tar, kos)
+		}
+	}
+}
+
+func TestTarjanMatchesKosarajuProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		edges := make([]record.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, record.Edge{U: uint32(raw[i] % 50), V: uint32(raw[i+1] % 50)})
+		}
+		tar := FromEdges(edges, nil).Tarjan().Labels()
+		kos := FromEdges(edges, nil).Kosaraju().Labels()
+		return SameSCCPartition(tar, kos)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelsUseMemberIDs(t *testing.T) {
+	edges := []record.Edge{{U: 10, V: 20}, {U: 20, V: 10}, {U: 30, V: 40}}
+	labels := FromEdges(edges, nil).Tarjan().Labels()
+	byNode := map[record.NodeID]record.SCCID{}
+	members := map[record.SCCID][]record.NodeID{}
+	for _, l := range labels {
+		byNode[l.Node] = l.SCC
+		members[l.SCC] = append(members[l.SCC], l.Node)
+	}
+	for scc, ms := range members {
+		found := false
+		for _, m := range ms {
+			if m == scc {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("SCC id %d is not the id of one of its members %v", scc, ms)
+		}
+	}
+	if byNode[10] != byNode[20] {
+		t.Fatal("10 and 20 should share a label")
+	}
+	if byNode[10] != 10 {
+		t.Fatalf("SCC id should be the minimum member id, got %d", byNode[10])
+	}
+}
+
+func TestOutNeighborsAndAccessors(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	if !g.HasNode(3) || g.HasNode(9) {
+		t.Fatal("HasNode broken")
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("size accessors: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	out := g.OutNeighbors(1)
+	if len(out) != 2 {
+		t.Fatalf("OutNeighbors(1) = %v", out)
+	}
+	if g.OutNeighbors(99) != nil {
+		t.Fatal("OutNeighbors of a missing node should be nil")
+	}
+}
+
+func TestCondensationEdges(t *testing.T) {
+	// Two SCCs {0,1} and {2,3} with a bridge 1->2 and a back edge inside each.
+	edges := []record.Edge{{U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 2}}
+	g := FromEdges(edges, nil)
+	res := g.Tarjan()
+	cond := g.CondensationEdges(res)
+	if len(cond) != 1 {
+		t.Fatalf("condensation edges = %v, want exactly one cross edge", cond)
+	}
+	if res.ComponentOf(0) != int(cond[0].U) && res.ComponentOf(0) != int(cond[0].V) {
+		t.Fatal("condensation edge does not touch the component of node 0")
+	}
+	// The condensation must be acyclic.
+	cg := FromEdges(cond, nil)
+	cres := cg.Tarjan()
+	for _, size := range cres.Sizes() {
+		if size > 1 {
+			t.Fatal("condensation contains a cycle")
+		}
+	}
+}
+
+func TestSameSCCPartition(t *testing.T) {
+	a := []record.Label{{Node: 1, SCC: 1}, {Node: 2, SCC: 1}, {Node: 3, SCC: 3}}
+	b := []record.Label{{Node: 1, SCC: 9}, {Node: 2, SCC: 9}, {Node: 3, SCC: 7}}
+	if !SameSCCPartition(a, b) {
+		t.Fatal("partitions with renamed labels should be equal")
+	}
+	c := []record.Label{{Node: 1, SCC: 9}, {Node: 2, SCC: 8}, {Node: 3, SCC: 7}}
+	if SameSCCPartition(a, c) {
+		t.Fatal("different partitions reported equal")
+	}
+	d := []record.Label{{Node: 1, SCC: 1}, {Node: 2, SCC: 1}}
+	if SameSCCPartition(a, d) {
+		t.Fatal("partitions over different node sets reported equal")
+	}
+	e := []record.Label{{Node: 1, SCC: 1}, {Node: 2, SCC: 1}, {Node: 4, SCC: 3}}
+	if SameSCCPartition(a, e) {
+		t.Fatal("partitions over different nodes reported equal")
+	}
+	f := []record.Label{{Node: 1, SCC: 1}, {Node: 2, SCC: 2}, {Node: 3, SCC: 2}}
+	if SameSCCPartition(a, f) {
+		t.Fatal("merged-the-other-way partition reported equal")
+	}
+}
+
+func TestLargeCycleIterativeDFS(t *testing.T) {
+	// A 200k-node cycle would overflow a recursive DFS; the iterative
+	// implementations must handle it.
+	const n = 200_000
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddEdge(record.NodeID(i), record.NodeID((i+1)%n))
+	}
+	if res := g.Tarjan(); res.Count != 1 {
+		t.Fatalf("Tarjan Count = %d, want 1", res.Count)
+	}
+	if res := g.Kosaraju(); res.Count != 1 {
+		t.Fatalf("Kosaraju Count = %d, want 1", res.Count)
+	}
+}

@@ -1,0 +1,261 @@
+// Package recio layers typed, fixed-size-record readers and writers on top of
+// the block-buffered file access of package blockio.  Every external operator
+// (external sort, merge joins, sequential scans) reads and writes records
+// through this package.
+package recio
+
+import (
+	"fmt"
+	"io"
+
+	"extscc/internal/blockio"
+	"extscc/internal/iomodel"
+	"extscc/internal/record"
+)
+
+// Writer writes fixed-size records of type T to a file.
+type Writer[T any] struct {
+	w     *blockio.Writer
+	codec record.Codec[T]
+	buf   []byte
+	count int64
+}
+
+// NewWriter creates (truncating) a record file at path.
+func NewWriter[T any](path string, codec record.Codec[T], cfg iomodel.Config) (*Writer[T], error) {
+	bw, err := blockio.NewWriter(path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer[T]{w: bw, codec: codec, buf: make([]byte, codec.Size())}, nil
+}
+
+// Write appends one record.
+func (w *Writer[T]) Write(rec T) error {
+	w.codec.Encode(rec, w.buf)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer[T]) Count() int64 { return w.count }
+
+// Name returns the file path.
+func (w *Writer[T]) Name() string { return w.w.Name() }
+
+// Close flushes buffered blocks and closes the file.
+func (w *Writer[T]) Close() error { return w.w.Close() }
+
+// Reader reads fixed-size records of type T from a file.
+type Reader[T any] struct {
+	r     *blockio.Reader
+	codec record.Codec[T]
+	buf   []byte
+	stats *iomodel.Stats
+}
+
+// NewReader opens a record file for sequential reading.
+func NewReader[T any](path string, codec record.Codec[T], cfg iomodel.Config) (*Reader[T], error) {
+	br, err := blockio.NewReader(path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(codec.Size())
+	if br.Size()%size != 0 {
+		br.Close()
+		return nil, fmt.Errorf("recio: %s has size %d, not a multiple of record size %d", path, br.Size(), size)
+	}
+	return &Reader[T]{r: br, codec: codec, buf: make([]byte, codec.Size()), stats: cfg.Stats}, nil
+}
+
+// Count returns the total number of records in the file.
+func (r *Reader[T]) Count() int64 { return r.r.Size() / int64(r.codec.Size()) }
+
+// Name returns the file path.
+func (r *Reader[T]) Name() string { return r.r.Name() }
+
+// Read returns the next record, or io.EOF after the last one.
+func (r *Reader[T]) Read() (T, error) {
+	var zero T
+	if err := r.r.ReadFull(r.buf); err != nil {
+		if err == io.EOF {
+			return zero, io.EOF
+		}
+		return zero, err
+	}
+	r.stats.CountScanRecords(1)
+	return r.codec.Decode(r.buf), nil
+}
+
+// Seek repositions the reader to the record with the given index.  The
+// following block fetch is charged as a random I/O unless it happens to be
+// sequential.
+func (r *Reader[T]) SeekTo(recordIndex int64) error {
+	return r.r.SeekTo(recordIndex * int64(r.codec.Size()))
+}
+
+// Close closes the underlying file.
+func (r *Reader[T]) Close() error { return r.r.Close() }
+
+// Iterator is a pull-based stream of records: Next returns (record, true, nil)
+// until the stream is exhausted, then (zero, false, nil).
+type Iterator[T any] interface {
+	Next() (T, bool, error)
+}
+
+// readerIterator adapts a Reader to the Iterator interface.
+type readerIterator[T any] struct {
+	r *Reader[T]
+}
+
+// Iter returns an Iterator view of the reader.
+func (r *Reader[T]) Iter() Iterator[T] { return &readerIterator[T]{r: r} }
+
+func (it *readerIterator[T]) Next() (T, bool, error) {
+	rec, err := it.r.Read()
+	if err == io.EOF {
+		var zero T
+		return zero, false, nil
+	}
+	if err != nil {
+		var zero T
+		return zero, false, err
+	}
+	return rec, true, nil
+}
+
+// SliceIterator iterates over an in-memory slice; used by tests and by
+// operators whose left input is known to be small.
+type SliceIterator[T any] struct {
+	recs []T
+	pos  int
+}
+
+// NewSliceIterator returns an Iterator over recs.
+func NewSliceIterator[T any](recs []T) *SliceIterator[T] { return &SliceIterator[T]{recs: recs} }
+
+// Next implements Iterator.
+func (it *SliceIterator[T]) Next() (T, bool, error) {
+	if it.pos >= len(it.recs) {
+		var zero T
+		return zero, false, nil
+	}
+	rec := it.recs[it.pos]
+	it.pos++
+	return rec, true, nil
+}
+
+// Peekable wraps an Iterator with one-record lookahead, the primitive the
+// merge joins are built on.
+type Peekable[T any] struct {
+	it    Iterator[T]
+	cur   T
+	valid bool
+	err   error
+}
+
+// NewPeekable returns a Peekable positioned on the first record of it.
+func NewPeekable[T any](it Iterator[T]) *Peekable[T] {
+	p := &Peekable[T]{it: it}
+	p.advance()
+	return p
+}
+
+func (p *Peekable[T]) advance() {
+	if p.err != nil {
+		p.valid = false
+		return
+	}
+	p.cur, p.valid, p.err = p.it.Next()
+	if p.err != nil {
+		p.valid = false
+	}
+}
+
+// Valid reports whether a current record is available.
+func (p *Peekable[T]) Valid() bool { return p.valid }
+
+// Err returns the first error encountered while reading, if any.
+func (p *Peekable[T]) Err() error { return p.err }
+
+// Peek returns the current record without consuming it.  It must only be
+// called when Valid() is true.
+func (p *Peekable[T]) Peek() T { return p.cur }
+
+// Pop returns the current record and advances to the next one.  It must only
+// be called when Valid() is true.
+func (p *Peekable[T]) Pop() T {
+	rec := p.cur
+	p.advance()
+	return rec
+}
+
+// WriteAll writes every record produced by it to a new file at path and
+// returns the number of records written.
+func WriteAll[T any](path string, codec record.Codec[T], cfg iomodel.Config, it Iterator[T]) (int64, error) {
+	w, err := NewWriter(path, codec, cfg)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			w.Close()
+			return w.Count(), err
+		}
+		if !ok {
+			break
+		}
+		if err := w.Write(rec); err != nil {
+			w.Close()
+			return w.Count(), err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return w.Count(), err
+	}
+	return w.Count(), nil
+}
+
+// WriteSlice writes the records of recs to a new file at path.
+func WriteSlice[T any](path string, codec record.Codec[T], cfg iomodel.Config, recs []T) error {
+	_, err := WriteAll(path, codec, cfg, NewSliceIterator(recs))
+	return err
+}
+
+// ReadAll reads every record of the file at path into memory.  It is intended
+// for tests and for files known to fit in memory (for example the final
+// contracted graph); production operators stream instead.
+func ReadAll[T any](path string, codec record.Codec[T], cfg iomodel.Config) ([]T, error) {
+	r, err := NewReader(path, codec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	recs := make([]T, 0, r.Count())
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// CountRecords returns the number of records in the file at path without
+// reading it.
+func CountRecords[T any](path string, codec record.Codec[T], cfg iomodel.Config) (int64, error) {
+	r, err := NewReader(path, codec, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	return r.Count(), nil
+}

@@ -1,0 +1,162 @@
+package semiscc
+
+import (
+	"testing"
+
+	"extscc/internal/edgefile"
+	"extscc/internal/graphgen"
+	"extscc/internal/iomodel"
+	"extscc/internal/memgraph"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+func testConfig(t *testing.T) iomodel.Config {
+	t.Helper()
+	return iomodel.Config{BlockSize: 512, Memory: 32 * 1024, TempDir: t.TempDir(), Stats: &iomodel.Stats{}}
+}
+
+func check(t *testing.T, edges []record.Edge, nodes []record.NodeID, force bool) Result {
+	t.Helper()
+	cfg := testConfig(t)
+	g, err := edgefile.WriteGraph(cfg.TempDir, edges, nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(g, cfg.TempDir, Options{ForceStreaming: force}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := recio.ReadAll(res.LabelPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := memgraph.FromEdges(edges, nodes).Tarjan().Labels()
+	if !memgraph.SameSCCPartition(got, want) {
+		t.Fatalf("partition mismatch (force=%v)\ngot  %v\nwant %v", force, got, want)
+	}
+	return res
+}
+
+func TestInMemoryFastPath(t *testing.T) {
+	edges, nodes := graphgen.PaperExample()
+	res := check(t, edges, nodes, false)
+	if !res.UsedInMemory {
+		t.Fatal("expected the in-memory fast path for a tiny graph")
+	}
+	if res.NumSCCs != 5 {
+		t.Fatalf("NumSCCs = %d, want 5", res.NumSCCs)
+	}
+}
+
+func TestStreamingPaperExample(t *testing.T) {
+	edges, nodes := graphgen.PaperExample()
+	res := check(t, edges, nodes, true)
+	if res.UsedInMemory {
+		t.Fatal("ForceStreaming ignored")
+	}
+	if res.NumSCCs != 5 {
+		t.Fatalf("NumSCCs = %d, want 5", res.NumSCCs)
+	}
+	if res.EdgeScans < 2 {
+		t.Fatalf("expected several edge scans, got %d", res.EdgeScans)
+	}
+}
+
+func TestStreamingStructuredGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []record.Edge
+		nodes []record.NodeID
+	}{
+		{"cycle", graphgen.Cycle(60), nil},
+		{"path", graphgen.Path(40), nil},
+		{"dag", graphgen.DAGLayered(50, 120, 1), nil},
+		{"random", graphgen.Random(80, 240, 2), nil},
+		{"selfloops", []record.Edge{{U: 1, V: 1}, {U: 1, V: 2}, {U: 2, V: 1}, {U: 3, V: 3}}, nil},
+		{"isolated", graphgen.Cycle(10), []record.NodeID{50, 51, 52}},
+		{"empty", nil, []record.NodeID{1, 2, 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			check(t, tc.edges, tc.nodes, true)
+		})
+	}
+}
+
+func TestStreamingUsesOnlySequentialIO(t *testing.T) {
+	cfg := testConfig(t)
+	edges := graphgen.Random(100, 400, 7)
+	g, err := edgefile.WriteGraph(cfg.TempDir, edges, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cfg.Stats.Snapshot()
+	if _, err := Compute(g, cfg.TempDir, Options{ForceStreaming: true}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	delta := cfg.Stats.Snapshot().Sub(before)
+	if delta.RandomIOs() != 0 {
+		t.Fatalf("semi-external solver performed %d random I/Os", delta.RandomIOs())
+	}
+	if delta.SemiExternalRuns != 1 {
+		t.Fatalf("SemiExternalRuns = %d", delta.SemiExternalRuns)
+	}
+}
+
+func TestNodeMetadataMismatch(t *testing.T) {
+	cfg := testConfig(t)
+	g, err := edgefile.WriteGraph(cfg.TempDir, graphgen.Cycle(5), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.NumNodes = 99
+	if _, err := Compute(g, cfg.TempDir, Options{}, cfg); err == nil {
+		t.Fatal("expected an error for inconsistent node metadata")
+	}
+}
+
+func TestCountSCCsInFile(t *testing.T) {
+	cfg := testConfig(t)
+	path := cfg.TempDir + "/labels.bin"
+	labels := []record.Label{{Node: 1, SCC: 1}, {Node: 2, SCC: 1}, {Node: 3, SCC: 3}, {Node: 4, SCC: 4}}
+	if err := recio.WriteSlice(path, record.LabelCodec{}, cfg, labels); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountSCCsInFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("CountSCCsInFile = %d, want 3", n)
+	}
+}
+
+func TestStreamingLabelsUseMemberIDs(t *testing.T) {
+	cfg := testConfig(t)
+	edges := graphgen.Random(60, 200, 3)
+	g, err := edgefile.WriteGraph(cfg.TempDir, edges, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(g, cfg.TempDir, Options{ForceStreaming: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := recio.ReadAll(res.LabelPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := map[record.SCCID]map[record.NodeID]bool{}
+	for _, l := range labels {
+		if members[l.SCC] == nil {
+			members[l.SCC] = map[record.NodeID]bool{}
+		}
+		members[l.SCC][l.Node] = true
+	}
+	for scc, ms := range members {
+		if !ms[scc] {
+			t.Fatalf("SCC id %d is not one of its members", scc)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package extscc
+
+import "os"
+
+// removeFile deletes a file, tolerating its absence.
+func removeFile(path string) error {
+	err := os.Remove(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
