@@ -1,6 +1,8 @@
 // Command sccgen generates the workloads of the paper's evaluation as on-disk
 // edge files: the Table I synthetic families (massive / large / small SCCs),
 // the web-graph-like WEBSPAM-UK2007 stand-in, and simple structured graphs.
+// The kinds are the ones accepted by extscc.GeneratorSpec, so a file written
+// here is identical to what extscc.GeneratorSource stages for the engine.
 //
 // Usage:
 //
@@ -15,10 +17,7 @@ import (
 	"log"
 	"os"
 
-	"extscc/internal/graphgen"
-	"extscc/internal/iomodel"
-	"extscc/internal/recio"
-	"extscc/internal/record"
+	"extscc"
 )
 
 func main() {
@@ -36,72 +35,14 @@ func main() {
 	if *out == "" {
 		log.Fatal("-out is required")
 	}
-	cfg, err := iomodel.DefaultConfig().Validate()
-	if err != nil {
-		log.Fatal(err)
+	spec := extscc.GeneratorSpec{
+		Kind:   *kind,
+		Scale:  *scale,
+		Nodes:  *nodes,
+		Degree: *degree,
+		Seed:   *seed,
 	}
-
-	var written int64
-	switch *kind {
-	case "massive", "large", "small":
-		var p graphgen.SyntheticParams
-		switch *kind {
-		case "massive":
-			p = graphgen.MassiveSCCParams(*scale)
-		case "large":
-			p = graphgen.LargeSCCParams(*scale)
-		case "small":
-			p = graphgen.SmallSCCParams(*scale)
-		}
-		if *nodes > 0 {
-			p.NumNodes = *nodes
-		}
-		if *degree > 0 {
-			p.AvgDegree = *degree
-		}
-		p.Seed = *seed
-		written, err = p.WriteTo(*out, cfg)
-	case "web":
-		p := graphgen.DefaultWebGraphParams()
-		if *nodes > 0 {
-			p.NumNodes = *nodes
-		}
-		if *degree > 0 {
-			p.AvgDegree = *degree
-		}
-		p.Seed = *seed
-		written, err = p.WriteTo(*out, cfg)
-	case "random", "cycle", "path", "dag", "paper":
-		var edges []record.Edge
-		n := *nodes
-		if n == 0 {
-			n = 10000
-		}
-		switch *kind {
-		case "random":
-			m := n * 4
-			if *degree > 0 {
-				m = n * *degree
-			}
-			edges = graphgen.Random(n, m, *seed)
-		case "cycle":
-			edges = graphgen.Cycle(n)
-		case "path":
-			edges = graphgen.Path(n)
-		case "dag":
-			m := n * 3
-			if *degree > 0 {
-				m = n * *degree
-			}
-			edges = graphgen.DAGLayered(n, m, *seed)
-		case "paper":
-			edges, _ = graphgen.PaperExample()
-		}
-		err = recio.WriteSlice(*out, record.EdgeCodec{}, cfg, edges)
-		written = int64(len(edges))
-	default:
-		log.Fatalf("unknown kind %q", *kind)
-	}
+	written, _, err := spec.WriteEdgeFile(*out)
 	if err != nil {
 		os.Remove(*out)
 		log.Fatal(err)

@@ -1,23 +1,25 @@
 // Command sccrun computes the strongly connected components of an on-disk
-// edge file with one of the implemented algorithms and reports its time and
-// I/O cost.
+// edge file with one of the registered algorithms and reports its time and
+// I/O cost.  Algorithms are resolved through the extscc registry; run with
+// -algo help to list them.
 //
 // Usage:
 //
 //	sccrun -algo ext-scc-op -memory 4194304 -in web.edges -out web.scc
 //	sccrun -algo dfs-scc -max-ios 2000000 -in web.edges
+//	sccrun -algo help
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
-	"extscc/internal/baseline"
-	"extscc/internal/core"
-	"extscc/internal/edgefile"
+	"extscc"
 	"extscc/internal/iomodel"
 )
 
@@ -25,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sccrun: ")
 
-	algo := flag.String("algo", "ext-scc-op", "algorithm: ext-scc, ext-scc-op, dfs-scc, em-scc")
+	algo := flag.String("algo", "ext-scc-op", "algorithm to run (\"help\" lists the registry)")
 	in := flag.String("in", "", "input edge file (required)")
 	out := flag.String("out", "", "output label file (optional; discarded if empty)")
 	memory := flag.Int64("memory", iomodel.DefaultMemory, "memory budget in bytes")
@@ -33,85 +35,65 @@ func main() {
 	nodeBudget := flag.Int64("node-budget", 0, "override the semi-external node capacity")
 	tempDir := flag.String("tmp", os.TempDir(), "directory for intermediate files")
 	maxDur := flag.Duration("max-duration", 0, "abort after this duration (0 = unlimited)")
-	maxIOs := flag.Int64("max-ios", 0, "abort DFS-SCC after this many block I/Os (0 = unlimited)")
+	maxIOs := flag.Int64("max-ios", 0, "abort after this many block I/Os, for algorithms that support the cap (0 = unlimited)")
 	flag.Parse()
 
+	if *algo == "help" || *algo == "list" {
+		fmt.Println("registered algorithms:")
+		for _, a := range extscc.Algorithms() {
+			fmt.Printf("  %-12s %s\n", a.Name(), a.Description())
+		}
+		return
+	}
 	if *in == "" {
 		log.Fatal("-in is required")
 	}
-	cfg, err := iomodel.Config{
-		BlockSize:  *block,
-		Memory:     *memory,
-		NodeBudget: *nodeBudget,
-		TempDir:    *tempDir,
-		Stats:      &iomodel.Stats{},
-	}.Validate()
-	if err != nil {
-		log.Fatal(err)
-	}
-	g, err := edgefile.GraphFromEdgeFile(*in, *tempDir, nil, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer os.Remove(g.NodePath)
-	fmt.Printf("graph: %d nodes, %d edges; node capacity %d\n", g.NumNodes, g.NumEdges, cfg.NodeCapacity())
 
-	var labelPath string
-	var numSCCs int64
-	var dur time.Duration
-	start := cfg.Stats.Snapshot()
-
-	switch *algo {
-	case "ext-scc", "ext-scc-op":
-		res, err := core.ExtSCC(g, *tempDir, core.Options{
-			Optimized:   *algo == "ext-scc-op",
-			MaxDuration: *maxDur,
-		}, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer res.Cleanup()
-		labelPath, numSCCs, dur = res.LabelPath, res.NumSCCs, res.Duration
-		fmt.Printf("contraction iterations: %d\n", len(res.Iterations))
-		for _, it := range res.Iterations {
+	eng, err := extscc.New(
+		extscc.WithAlgorithm(*algo),
+		extscc.WithMemory(*memory),
+		extscc.WithBlockSize(*block),
+		extscc.WithNodeBudget(*nodeBudget),
+		extscc.WithTempDir(*tempDir),
+		extscc.WithMaxIOs(*maxIOs),
+		extscc.WithProgress(func(p extscc.Progress) {
 			fmt.Printf("  iteration %d: |V|=%d |E|=%d removed=%d preserved=%d added=%d\n",
-				it.Index, it.NumNodes, it.NumEdges, it.NumRemoved, it.PreservedEdges, it.AddedEdges)
-		}
-	case "dfs-scc":
-		res, err := baseline.DFSSCC(g, *tempDir, baseline.DFSOptions{MaxDuration: *maxDur, MaxIOs: *maxIOs}, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer os.Remove(res.LabelPath)
-		labelPath, numSCCs, dur = res.LabelPath, res.NumSCCs, res.Duration
-	case "em-scc":
-		res, err := baseline.EMSCC(g, *tempDir, baseline.EMOptions{MaxDuration: *maxDur}, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !res.Converged {
-			fmt.Printf("EM-SCC did not converge after %d iterations (%.2fs)\n", res.Iterations, res.Duration.Seconds())
-			return
-		}
-		defer os.Remove(res.LabelPath)
-		labelPath, numSCCs, dur = res.LabelPath, res.NumSCCs, res.Duration
-	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+				p.Iteration, p.NumNodes, p.NumEdges, p.NumRemoved, p.PreservedEdges, p.AddedEdges)
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	delta := cfg.Stats.Snapshot().Sub(start)
-	fmt.Printf("SCCs: %d\ntime: %s\nI/Os: %d (random %d)\nbytes: read %d, written %d\n",
-		numSCCs, dur.Round(time.Millisecond), delta.TotalIOs(), delta.RandomIOs(), delta.BytesRead, delta.BytesWritten)
+	ctx := context.Background()
+	if *maxDur > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *maxDur)
+		defer cancel()
+	}
 
-	if *out != "" && labelPath != "" {
-		if err := os.Rename(labelPath, *out); err != nil {
-			data, rerr := os.ReadFile(labelPath)
-			if rerr != nil {
-				log.Fatal(err)
-			}
-			if werr := os.WriteFile(*out, data, 0o644); werr != nil {
-				log.Fatal(werr)
-			}
+	res, err := eng.Run(ctx, extscc.FileSource(*in))
+	switch {
+	case errors.Is(err, extscc.ErrDidNotConverge):
+		log.Fatalf("%s: %v", *algo, err)
+	case errors.Is(err, extscc.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded):
+		log.Fatalf("%s exceeded its budget: %v", *algo, err)
+	case err != nil:
+		log.Fatal(err)
+	}
+	defer res.Close()
+
+	fmt.Printf("graph: %d nodes, %d edges\n", res.NumNodes, res.NumEdges)
+	if res.Stats.ContractionIterations > 0 {
+		fmt.Printf("contraction iterations: %d\n", res.Stats.ContractionIterations)
+	}
+	fmt.Printf("SCCs: %d\ntime: %s\nI/Os: %d (random %d)\nbytes: read %d, written %d\n",
+		res.NumSCCs, res.Stats.Duration.Round(time.Millisecond),
+		res.Stats.TotalIOs, res.Stats.RandomIOs, res.Stats.BytesRead, res.Stats.BytesWritten)
+
+	if *out != "" {
+		if err := res.ExportLabels(*out); err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("labels written to %s\n", *out)
 	}

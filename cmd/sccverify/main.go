@@ -1,17 +1,22 @@
-// Command sccverify checks an SCC label file against ground truth computed
-// in memory with Tarjan's algorithm.  It is meant for verifying outputs of
-// sccrun on graphs that still fit in memory.
+// Command sccverify checks an SCC labelling against ground truth computed in
+// memory with Tarjan's algorithm.  It verifies either an existing label file
+// (-labels, e.g. an output of sccrun) or the output of any registered
+// algorithm (-algo), resolved through the extscc registry.  It is meant for
+// graphs that still fit in memory.
 //
 // Usage:
 //
 //	sccverify -graph web.edges -labels web.scc
+//	sccverify -graph web.edges -algo em-scc
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
+	"extscc"
 	"extscc/internal/iomodel"
 	"extscc/internal/memgraph"
 	"extscc/internal/recio"
@@ -23,10 +28,12 @@ func main() {
 	log.SetPrefix("sccverify: ")
 
 	graphPath := flag.String("graph", "", "edge file of the graph (required)")
-	labelPath := flag.String("labels", "", "label file to verify (required)")
+	labelPath := flag.String("labels", "", "label file to verify")
+	algo := flag.String("algo", "", "registered algorithm to run and verify instead of -labels")
+	nodeBudget := flag.Int64("node-budget", 0, "override the semi-external node capacity for -algo runs")
 	flag.Parse()
-	if *graphPath == "" || *labelPath == "" {
-		log.Fatal("-graph and -labels are required")
+	if *graphPath == "" || (*labelPath == "") == (*algo == "") {
+		log.Fatal("-graph and exactly one of -labels or -algo are required")
 	}
 	cfg, err := iomodel.DefaultConfig().Validate()
 	if err != nil {
@@ -36,20 +43,44 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	got, err := recio.ReadAll(*labelPath, record.LabelCodec{}, cfg)
-	if err != nil {
-		log.Fatal(err)
+
+	var got []record.Label
+	if *algo != "" {
+		eng, err := extscc.New(
+			extscc.WithAlgorithm(*algo),
+			extscc.WithNodeBudget(*nodeBudget),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(context.Background(), extscc.FileSource(*graphPath))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer res.Close()
+		for node, scc := range res.Stream() {
+			got = append(got, record.Label{Node: node, SCC: scc})
+		}
+		if err := res.Err(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		got, err = recio.ReadAll(*labelPath, record.LabelCodec{}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
+
 	var extra []record.NodeID
 	for _, l := range got {
 		extra = append(extra, l.Node)
 	}
 	want := memgraph.FromEdges(edges, extra).Tarjan().Labels()
 	if len(want) != len(got) {
-		log.Fatalf("label count mismatch: file has %d, graph has %d nodes", len(got), len(want))
+		log.Fatalf("label count mismatch: labelling has %d, graph has %d nodes", len(got), len(want))
 	}
 	if !memgraph.SameSCCPartition(got, want) {
-		log.Fatal("FAILED: label file does not describe the SCC partition of the graph")
+		log.Fatal("FAILED: labelling does not describe the SCC partition of the graph")
 	}
 	fmt.Printf("OK: %d nodes, partition matches in-memory Tarjan\n", len(got))
 }

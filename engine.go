@@ -1,0 +1,268 @@
+package extscc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"extscc/internal/edgefile"
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+// Engine runs a registered SCC algorithm over any Source under a fixed I/O
+// configuration.  An Engine is immutable after New and safe for concurrent
+// Runs; each Run gets its own run directory and I/O counters.
+type Engine struct {
+	algo     Algorithm
+	base     iomodel.Config
+	keepTemp bool
+	maxIOs   int64
+	progress func(Progress)
+}
+
+// Option configures an Engine.
+type Option func(*Engine) error
+
+// WithAlgorithm selects the algorithm by its registered name (see
+// Algorithms).  The default is "ext-scc-op".
+func WithAlgorithm(name string) Option {
+	return func(e *Engine) error {
+		a, err := Lookup(name)
+		if err != nil {
+			return err
+		}
+		e.algo = a
+		return nil
+	}
+}
+
+// WithMemory sets the main-memory budget M in bytes (0 = the scaled-down
+// default, iomodel.DefaultMemory).
+func WithMemory(bytes int64) Option {
+	return func(e *Engine) error {
+		e.base.Memory = bytes
+		return nil
+	}
+}
+
+// WithBlockSize sets the disk block size B in bytes (0 = default).
+func WithBlockSize(b int) Option {
+	return func(e *Engine) error {
+		e.base.BlockSize = b
+		return nil
+	}
+}
+
+// WithNodeBudget overrides the number of nodes considered to fit in memory,
+// decoupling the contraction stop condition from the memory budget.
+func WithNodeBudget(nodes int64) Option {
+	return func(e *Engine) error {
+		e.base.NodeBudget = nodes
+		return nil
+	}
+}
+
+// WithTempDir sets the directory that holds each run's private run directory
+// ("" = the system temp directory).
+func WithTempDir(dir string) Option {
+	return func(e *Engine) error {
+		e.base.TempDir = dir
+		return nil
+	}
+}
+
+// WithKeepTemp retains each run's intermediate files for debugging instead
+// of deleting them as the run progresses.
+func WithKeepTemp(keep bool) Option {
+	return func(e *Engine) error {
+		e.keepTemp = keep
+		return nil
+	}
+}
+
+// WithMaxIOs caps a run's block transfers; algorithms that support the cap
+// (dfs-scc) fail with ErrBudgetExceeded once it is spent.  Time budgets are
+// expressed with a context deadline instead.
+func WithMaxIOs(n int64) Option {
+	return func(e *Engine) error {
+		e.maxIOs = n
+		return nil
+	}
+}
+
+// WithProgress installs a callback that receives progress events (one per
+// contraction iteration for the contraction-based algorithms).  The callback
+// runs on the computing goroutine, so cancelling the run's context from
+// inside it stops the run before the next iteration.
+func WithProgress(fn func(Progress)) Option {
+	return func(e *Engine) error {
+		e.progress = fn
+		return nil
+	}
+}
+
+// New builds an Engine.  Without options it runs "ext-scc-op" with the
+// default scaled-down I/O-model parameters.
+func New(opts ...Option) (*Engine, error) {
+	e := &Engine{}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	if e.algo == nil {
+		a, err := Lookup("ext-scc-op")
+		if err != nil {
+			return nil, err
+		}
+		e.algo = a
+	}
+	cfg, err := iomodel.Config{
+		BlockSize:  e.base.BlockSize,
+		Memory:     e.base.Memory,
+		NodeBudget: e.base.NodeBudget,
+		TempDir:    e.base.TempDir,
+	}.Validate()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Stats = nil // each Run allocates its own counters
+	e.base = cfg
+	return e, nil
+}
+
+// Algorithm returns the engine's configured algorithm.
+func (e *Engine) Algorithm() Algorithm { return e.algo }
+
+// Run opens src, executes the engine's algorithm on it, and returns the
+// labelled Result.  Cancelling ctx stops the computation within one
+// contraction iteration (or a few traversal steps, for dfs-scc) and removes
+// every file the run created.  The caller owns the Result and must Close it
+// to release the run directory.
+func (e *Engine) Run(ctx context.Context, src Source) (*Result, error) {
+	if src == nil {
+		return nil, errors.New("extscc: Run called with a nil Source")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := e.base
+	cfg.Stats = &iomodel.Stats{}
+
+	parent := cfg.TempDir
+	if parent == "" {
+		parent = os.TempDir()
+	}
+	runDir, err := os.MkdirTemp(parent, "extscc-engine-")
+	if err != nil {
+		return nil, fmt.Errorf("extscc: create run directory: %w", err)
+	}
+	// Every staging and intermediate file lives beneath runDir, so a failed
+	// or cancelled run cleans up with a single RemoveAll.
+	cfg.TempDir = runDir
+	fail := func(err error) (*Result, error) {
+		if !e.keepTemp {
+			os.RemoveAll(runDir)
+		}
+		return nil, err
+	}
+
+	gf, err := src.Open(ctx, SourceEnv{Dir: runDir, cfg: cfg})
+	if err != nil {
+		return fail(err)
+	}
+	if gf.EdgePath == "" {
+		return fail(errors.New("extscc: source returned no edge file"))
+	}
+	// The node-derivation pass below is not context-aware, so do not start
+	// it for a context that is already done.
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	g, gf, err := resolveGraph(gf, runDir, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+
+	task := &Task{
+		Dir:        runDir,
+		Graph:      gf,
+		Memory:     cfg.Memory,
+		BlockSize:  cfg.BlockSize,
+		NodeBudget: cfg.NodeBudget,
+		MaxIOs:     e.maxIOs,
+		KeepTemp:   e.keepTemp,
+		Progress:   e.progress,
+		graph:      g,
+		cfg:        cfg,
+	}
+	start := time.Now()
+	before := cfg.Stats.Snapshot()
+	ares, err := e.algo.Run(ctx, task)
+	if err != nil {
+		return fail(err)
+	}
+	delta := cfg.Stats.Snapshot().Sub(before)
+	return &Result{
+		Algorithm: e.algo.Name(),
+		NumNodes:  g.NumNodes,
+		NumEdges:  g.NumEdges,
+		NumSCCs:   ares.NumSCCs,
+		LabelPath: ares.LabelPath,
+		Stats: Stats{
+			TotalIOs:              delta.TotalIOs(),
+			RandomIOs:             delta.RandomIOs(),
+			BytesRead:             delta.BytesRead,
+			BytesWritten:          delta.BytesWritten,
+			ContractionIterations: ares.Iterations,
+			Duration:              time.Since(start),
+		},
+		runDir: runDir,
+		cfg:    cfg,
+	}, nil
+}
+
+// resolveGraph turns the source's GraphFiles into a complete on-disk graph,
+// deriving the node file and the counts when the source did not provide
+// them.
+func resolveGraph(gf GraphFiles, runDir string, cfg iomodel.Config) (edgefile.Graph, GraphFiles, error) {
+	if gf.NodePath == "" {
+		g, err := edgefile.GraphFromEdgeFile(gf.EdgePath, runDir, gf.ExtraNodes, cfg)
+		if err != nil {
+			return edgefile.Graph{}, GraphFiles{}, fmt.Errorf("extscc: open graph: %w", err)
+		}
+		gf.NodePath, gf.NumNodes, gf.NumEdges = g.NodePath, g.NumNodes, g.NumEdges
+		return g, gf, nil
+	}
+	if gf.NumEdges == 0 {
+		n, err := recio.CountRecords(gf.EdgePath, record.EdgeCodec{}, cfg)
+		if err != nil {
+			return edgefile.Graph{}, GraphFiles{}, err
+		}
+		gf.NumEdges = n
+	}
+	if gf.NumNodes == 0 {
+		n, err := recio.CountRecords(gf.NodePath, record.NodeCodec{}, cfg)
+		if err != nil {
+			return edgefile.Graph{}, GraphFiles{}, err
+		}
+		gf.NumNodes = n
+	}
+	g := edgefile.Graph{
+		EdgePath: gf.EdgePath,
+		NodePath: gf.NodePath,
+		NumNodes: gf.NumNodes,
+		NumEdges: gf.NumEdges,
+	}
+	return g, gf, nil
+}

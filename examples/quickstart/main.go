@@ -1,5 +1,6 @@
 // Quickstart: compute the SCCs of the paper's Fig. 1 example graph with the
-// public extscc API and print the components.
+// engine API and print the components, consuming the labelling through the
+// streaming iterator.
 //
 // Run with:
 //
@@ -7,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -26,8 +28,15 @@ func main() {
 
 	// A tiny NodeBudget forces the external contraction-expansion machinery
 	// to run even on this small example; on a real out-of-core graph you
-	// would set MemoryBytes to your actual budget instead.
-	res, err := extscc.Compute(edges, nil, extscc.Options{NodeBudget: 4})
+	// would set WithMemory to your actual budget instead.
+	eng, err := extscc.New(
+		extscc.WithAlgorithm("ext-scc-op"),
+		extscc.WithNodeBudget(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), extscc.SliceSource(edges))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,13 +46,13 @@ func main() {
 	fmt.Printf("contraction iterations: %d, block I/Os: %d (random: %d)\n",
 		res.Stats.ContractionIterations, res.Stats.TotalIOs, res.Stats.RandomIOs)
 
-	labels, err := res.Labels()
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Stream the labelling straight from disk — no full in-memory load.
 	groups := map[uint32][]extscc.NodeID{}
-	for _, l := range labels {
-		groups[l.SCC] = append(groups[l.SCC], l.Node)
+	for node, scc := range res.Stream() {
+		groups[scc] = append(groups[scc], node)
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
 	}
 	var keys []uint32
 	for k := range groups {

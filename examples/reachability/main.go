@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,15 +26,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Step 1: SCC computation with the external algorithm (the node budget is
-	// set to a quarter of |V| to exercise the contraction phase).
-	res, err := extscc.Compute(edges, p.AllNodes(), extscc.Options{NodeBudget: int64(p.NumNodes / 4)})
+	// Step 1: SCC computation with the external algorithm.  The node budget
+	// is set to half of |V| to exercise the contraction phase while staying
+	// above the graph's dense core (contracting into the core rewires
+	// quadratically many edges).
+	eng, err := extscc.New(extscc.WithNodeBudget(int64(p.NumNodes / 2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), extscc.SliceSource(edges, p.AllNodes()...))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer res.Close()
-	labelOf, err := res.LabelMap()
-	if err != nil {
+
+	// Consume the labelling through the streaming iterator.
+	labelOf := make(map[extscc.NodeID]uint32, res.NumNodes)
+	for node, scc := range res.Stream() {
+		labelOf[node] = scc
+	}
+	if err := res.Err(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: %d nodes, %d edges -> %d SCCs (DAG nodes)\n", res.NumNodes, len(edges), res.NumSCCs)

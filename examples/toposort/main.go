@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -40,7 +41,11 @@ func main() {
 	for i := 0; i < n; i++ {
 		nodes = append(nodes, extscc.NodeID(i))
 	}
-	res, err := extscc.Compute(edges, nodes, extscc.Options{NodeBudget: n / 4})
+	eng, err := extscc.New(extscc.WithNodeBudget(int64(n / 4)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), extscc.SliceSource(edges, nodes...))
 	if err != nil {
 		log.Fatal(err)
 	}

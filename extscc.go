@@ -1,29 +1,45 @@
 // Package extscc computes strongly connected components (SCCs) of directed
 // graphs that are too large for main memory, implementing the
 // contraction–expansion algorithm of Zhang, Qin and Yu, "Contract & Expand:
-// I/O Efficient SCCs Computing" (ICDE 2014).
+// I/O Efficient SCCs Computing" (ICDE 2014), together with the baselines the
+// paper compares against.
 //
-// The package is a facade over the internal building blocks:
+// The public surface is an Engine with three pluggable axes:
 //
-//   - ComputeFile runs Ext-SCC / Ext-SCC-Op on an on-disk edge file and
-//     writes an on-disk label file, never holding more than the configured
-//     memory budget of graph state in memory.
-//   - Compute is a convenience wrapper for graphs that are materialised as an
-//     in-memory edge slice (tests, small inputs, examples).
+//   - Algorithms are registered by name (Register, Algorithms, Lookup);
+//     the built-ins are ext-scc, ext-scc-op, dfs-scc, em-scc and semi-scc.
+//   - Sources supply the input graph: FileSource (binary edge file),
+//     SliceSource (in-memory edges), TextSource ("u v" text lines),
+//     GeneratorSource (synthetic workloads) and PreparedSource (pre-staged
+//     files).  Anything that stages an edge file can implement Source.
+//   - Results stream: Result.Stream iterates (node, label) pairs directly
+//     from disk, so consuming the labelling never requires the node set to
+//     fit in memory.
+//
+// A minimal computation:
+//
+//	eng, err := extscc.New(extscc.WithMemory(64 << 20))
+//	if err != nil { ... }
+//	res, err := eng.Run(ctx, extscc.FileSource("web.edges"))
+//	if err != nil { ... }
+//	defer res.Close()
+//	for node, scc := range res.Stream() { ... }
+//
+// Runs are cancelled through the context: the contraction-based algorithms
+// stop within one contraction iteration and remove every temporary file.
 //
 // An SCC label is an opaque uint32; two nodes belong to the same strongly
-// connected component exactly when their labels are equal, and every label is
-// the identifier of one of the component's member nodes.
+// connected component exactly when their labels are equal, and every label
+// is the identifier of one of the component's member nodes.
+//
+// Compute and ComputeFile are retained as deprecated wrappers over the
+// engine for callers of the original two-entry-point API.
 package extscc
 
 import (
-	"fmt"
+	"context"
 	"time"
 
-	"extscc/internal/core"
-	"extscc/internal/edgefile"
-	"extscc/internal/iomodel"
-	"extscc/internal/recio"
 	"extscc/internal/record"
 )
 
@@ -36,8 +52,11 @@ type Label = record.Label
 // NodeID identifies a node.
 type NodeID = record.NodeID
 
-// Options configures a computation.  The zero value requests the optimised
-// algorithm (Ext-SCC-Op) with the default scaled-down I/O-model parameters.
+// Options configures a computation made through the deprecated Compute /
+// ComputeFile wrappers.  The zero value requests the optimised algorithm
+// (Ext-SCC-Op) with the default scaled-down I/O-model parameters.
+//
+// Deprecated: build an Engine with New and functional options instead.
 type Options struct {
 	// MemoryBytes is the main-memory budget M (0 = iomodel.DefaultMemory).
 	MemoryBytes int64
@@ -51,174 +70,55 @@ type Options struct {
 	// Basic disables the Section VII optimisations, i.e. runs plain Ext-SCC
 	// instead of Ext-SCC-Op.
 	Basic bool
-	// MaxDuration aborts the computation once exceeded (0 = no limit).
+	// MaxDuration aborts the computation once exceeded (0 = no limit).  New
+	// code should pass a context with a deadline to Engine.Run instead.
 	MaxDuration time.Duration
 	// KeepTemp retains intermediate files for debugging.
 	KeepTemp bool
 }
 
-func (o Options) config() (iomodel.Config, error) {
-	cfg := iomodel.Config{
-		BlockSize:  o.BlockSize,
-		Memory:     o.MemoryBytes,
-		NodeBudget: o.NodeBudget,
-		TempDir:    o.TempDir,
-		Stats:      &iomodel.Stats{},
-	}
-	return cfg.Validate()
-}
-
-// Stats summarises the I/O behaviour of a computation.
-type Stats struct {
-	// TotalIOs is the number of block transfers (reads plus writes).
-	TotalIOs int64
-	// RandomIOs is the number of non-sequential block transfers.
-	RandomIOs int64
-	// BytesRead and BytesWritten are the transferred volumes.
-	BytesRead    int64
-	BytesWritten int64
-	// ContractionIterations is the number of contraction steps performed.
-	ContractionIterations int
-	// Duration is the wall-clock time of the computation.
-	Duration time.Duration
-}
-
-// Result is the outcome of a computation.
-type Result struct {
-	// NumNodes is the number of labelled nodes.
-	NumNodes int64
-	// NumSCCs is the number of strongly connected components.
-	NumSCCs int64
-	// LabelPath is the on-disk label file (one 8-byte (node, scc) record per
-	// node, sorted by node id).  It lives inside a run directory that is
-	// removed by Close.
-	LabelPath string
-	// Stats summarises the run.
-	Stats Stats
-
-	inner *core.Result
-	cfg   iomodel.Config
-}
-
-// Labels loads the full label assignment into memory.  Use it only when the
-// node set fits in memory; otherwise stream LabelPath.
-func (r *Result) Labels() ([]Label, error) {
-	return recio.ReadAll(r.LabelPath, record.LabelCodec{}, r.cfg)
-}
-
-// LabelMap loads the assignment as a map from node to SCC label.
-func (r *Result) LabelMap() (map[NodeID]uint32, error) {
-	labels, err := r.Labels()
-	if err != nil {
-		return nil, err
-	}
-	m := make(map[NodeID]uint32, len(labels))
-	for _, l := range labels {
-		m[l.Node] = l.SCC
-	}
-	return m, nil
-}
-
-// Close removes the result's run directory (including LabelPath).
-func (r *Result) Close() error {
-	if r == nil || r.inner == nil {
-		return nil
-	}
-	return r.inner.Cleanup()
-}
-
 // ComputeFile computes the SCCs of the graph stored in the edge file at
 // edgePath: a sequence of 8-byte little-endian (u uint32, v uint32) records.
 // The node set is the set of edge endpoints plus extraNodes (for isolated
-// nodes).  The computation uses at most the configured memory budget of graph
-// state and performs only sequential scans and external sorts.
+// nodes).
+//
+// Deprecated: use New and Engine.Run with FileSource.
 func ComputeFile(edgePath string, extraNodes []NodeID, opts Options) (*Result, error) {
-	cfg, err := opts.config()
-	if err != nil {
-		return nil, err
-	}
-	g, err := edgefile.GraphFromEdgeFile(edgePath, cfg.TempDir, extraNodes, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("extscc: open graph: %w", err)
-	}
-	defer func() {
-		// The derived node file is an intermediate of the facade.
-		if !opts.KeepTemp {
-			removeQuietly(g.NodePath)
-		}
-	}()
-	return computeGraph(g, opts, cfg)
+	return opts.run(FileSource(edgePath, extraNodes...))
 }
 
-// Compute computes the SCCs of an in-memory edge list (plus optional isolated
-// nodes).  It spills the edges to a temporary file and runs the external
-// algorithm, so its memory footprint stays within the configured budget even
-// for inputs larger than that budget.
+// Compute computes the SCCs of an in-memory edge list (plus optional
+// isolated nodes).  It spills the edges to a temporary file and runs the
+// external algorithm, so its memory footprint stays within the configured
+// budget even for inputs larger than that budget.
+//
+// Deprecated: use New and Engine.Run with SliceSource.
 func Compute(edges []Edge, extraNodes []NodeID, opts Options) (*Result, error) {
-	cfg, err := opts.config()
+	return opts.run(SliceSource(edges, extraNodes...))
+}
+
+// run maps the legacy Options onto the engine.
+func (o Options) run(src Source) (*Result, error) {
+	algo := "ext-scc-op"
+	if o.Basic {
+		algo = "ext-scc"
+	}
+	eng, err := New(
+		WithAlgorithm(algo),
+		WithMemory(o.MemoryBytes),
+		WithBlockSize(o.BlockSize),
+		WithNodeBudget(o.NodeBudget),
+		WithTempDir(o.TempDir),
+		WithKeepTemp(o.KeepTemp),
+	)
 	if err != nil {
 		return nil, err
 	}
-	g, err := edgefile.WriteGraph(cfg.TempDir, edges, mergedNodes(edges, extraNodes), cfg)
-	if err != nil {
-		return nil, fmt.Errorf("extscc: materialise graph: %w", err)
+	ctx := context.Background()
+	if o.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.MaxDuration)
+		defer cancel()
 	}
-	defer func() {
-		if !opts.KeepTemp {
-			removeQuietly(g.EdgePath)
-			removeQuietly(g.NodePath)
-		}
-	}()
-	return computeGraph(g, opts, cfg)
-}
-
-func computeGraph(g edgefile.Graph, opts Options, cfg iomodel.Config) (*Result, error) {
-	res, err := core.ExtSCC(g, cfg.TempDir, core.Options{
-		Optimized:   !opts.Basic,
-		MaxDuration: opts.MaxDuration,
-		KeepTemp:    opts.KeepTemp,
-	}, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		NumNodes:  res.NumNodes,
-		NumSCCs:   res.NumSCCs,
-		LabelPath: res.LabelPath,
-		Stats: Stats{
-			TotalIOs:              res.IO.TotalIOs(),
-			RandomIOs:             res.IO.RandomIOs(),
-			BytesRead:             res.IO.BytesRead,
-			BytesWritten:          res.IO.BytesWritten,
-			ContractionIterations: len(res.Iterations),
-			Duration:              res.Duration,
-		},
-		inner: res,
-		cfg:   cfg,
-	}, nil
-}
-
-// mergedNodes returns the union of the edge endpoints and the extra nodes so
-// the caller does not have to enumerate endpoints explicitly.
-func mergedNodes(edges []Edge, extra []NodeID) []NodeID {
-	seen := make(map[NodeID]struct{}, len(edges)*2+len(extra))
-	for _, e := range edges {
-		seen[e.U] = struct{}{}
-		seen[e.V] = struct{}{}
-	}
-	for _, n := range extra {
-		seen[n] = struct{}{}
-	}
-	nodes := make([]NodeID, 0, len(seen))
-	for n := range seen {
-		nodes = append(nodes, n)
-	}
-	return nodes
-}
-
-func removeQuietly(path string) {
-	if path == "" {
-		return
-	}
-	_ = removeFile(path)
+	return eng.Run(ctx, src)
 }

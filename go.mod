@@ -1,0 +1,3 @@
+module extscc
+
+go 1.24

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -30,7 +31,7 @@ func checkDFS(t *testing.T, edges []record.Edge, nodes []record.NodeID, useBRT b
 	t.Helper()
 	cfg := testConfig(t)
 	g := buildGraph(t, cfg, edges, nodes)
-	res, err := DFSSCC(g, cfg.TempDir, DFSOptions{UseBRT: useBRT}, cfg)
+	res, err := DFSSCC(context.Background(), g, cfg.TempDir, DFSOptions{UseBRT: useBRT}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestDFSSCCStructuredGraphs(t *testing.T) {
 func TestDFSSCCGeneratesRandomIO(t *testing.T) {
 	cfg := testConfig(t)
 	g := buildGraph(t, cfg, graphgen.Random(60, 180, 3), nil)
-	res, err := DFSSCC(g, cfg.TempDir, DFSOptions{}, cfg)
+	res, err := DFSSCC(context.Background(), g, cfg.TempDir, DFSOptions{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,13 @@ func TestDFSSCCGeneratesRandomIO(t *testing.T) {
 func TestDFSSCCBudgetExceeded(t *testing.T) {
 	cfg := testConfig(t)
 	g := buildGraph(t, cfg, graphgen.Random(200, 800, 5), nil)
-	if _, err := DFSSCC(g, cfg.TempDir, DFSOptions{MaxIOs: 10}, cfg); err != ErrBudgetExceeded {
+	if _, err := DFSSCC(context.Background(), g, cfg.TempDir, DFSOptions{MaxIOs: 10}, cfg); err != ErrBudgetExceeded {
 		t.Fatalf("expected ErrBudgetExceeded, got %v", err)
 	}
-	if _, err := DFSSCC(g, cfg.TempDir, DFSOptions{MaxDuration: time.Nanosecond}, cfg); err != ErrBudgetExceeded {
-		t.Fatalf("expected ErrBudgetExceeded for the time cap, got %v", err)
+	deadlineCtx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := DFSSCC(deadlineCtx, g, cfg.TempDir, DFSOptions{}, cfg); err != context.DeadlineExceeded {
+		t.Fatalf("expected context.DeadlineExceeded for the time cap, got %v", err)
 	}
 }
 
@@ -102,7 +105,7 @@ func TestEMSCCConvergesOnSmallCyclicGraph(t *testing.T) {
 		edges = append(edges, record.Edge{U: record.NodeID(i), V: record.NodeID(next)})
 	}
 	g := buildGraph(t, cfg, edges, nil)
-	res, err := EMSCC(g, cfg.TempDir, EMOptions{PartitionEdges: 25}, cfg)
+	res, err := EMSCC(context.Background(), g, cfg.TempDir, EMOptions{PartitionEdges: 25}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +128,7 @@ func TestEMSCCDoesNotConvergeOnDAG(t *testing.T) {
 	// so EM-SCC cannot make progress.
 	edges := graphgen.DAGLayered(500, 1500, 2)
 	g := buildGraph(t, cfg, edges, nil)
-	res, err := EMSCC(g, cfg.TempDir, EMOptions{PartitionEdges: 100, MaxIterations: 8}, cfg)
+	res, err := EMSCC(context.Background(), g, cfg.TempDir, EMOptions{PartitionEdges: 100, MaxIterations: 8}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

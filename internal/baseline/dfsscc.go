@@ -13,6 +13,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"io"
 	"time"
@@ -26,18 +27,16 @@ import (
 	"extscc/internal/record"
 )
 
-// ErrBudgetExceeded is returned when a baseline run exceeds its time or I/O
-// cap; the benchmark harness reports such runs as INF, like the paper's
-// 24-hour limit.
-var ErrBudgetExceeded = errors.New("baseline: time or I/O budget exceeded")
+// ErrBudgetExceeded is returned when a baseline run exceeds its I/O cap; the
+// benchmark harness reports such runs as INF, like the paper's 24-hour limit.
+// Time limits are imposed through the context passed to DFSSCC / EMSCC.
+var ErrBudgetExceeded = errors.New("baseline: I/O budget exceeded")
 
 // DFSOptions configures a DFS-SCC run.
 type DFSOptions struct {
 	// UseBRT routes edge-level visited bookkeeping through a buffered
 	// repository tree instead of checking the visited array per edge.
 	UseBRT bool
-	// MaxDuration aborts the run once exceeded (0 = no limit).
-	MaxDuration time.Duration
 	// MaxIOs aborts the run once the total number of block transfers charged
 	// to the configuration exceeds this value (0 = no limit).
 	MaxIOs int64
@@ -57,6 +56,7 @@ type DFSResult struct {
 
 // dfsState bundles what both DFS passes share.
 type dfsState struct {
+	ctx    context.Context
 	g      edgefile.Graph
 	dir    string
 	opts   DFSOptions
@@ -79,8 +79,8 @@ func (s *dfsState) cleanup() {
 }
 
 func (s *dfsState) checkBudget() error {
-	if s.opts.MaxDuration > 0 && time.Since(s.start) > s.opts.MaxDuration {
-		return ErrBudgetExceeded
+	if err := s.ctx.Err(); err != nil {
+		return err
 	}
 	if s.opts.MaxIOs > 0 {
 		spent := s.cfg.Stats.Snapshot().Sub(s.ioBase).TotalIOs()
@@ -92,7 +92,9 @@ func (s *dfsState) checkBudget() error {
 }
 
 // DFSSCC computes all SCCs of g with the external Kosaraju–Sharir algorithm.
-func DFSSCC(g edgefile.Graph, dir string, opts DFSOptions, cfg iomodel.Config) (*DFSResult, error) {
+// Cancelling ctx (or letting its deadline pass) aborts the traversal within a
+// few hundred DFS steps and removes every intermediate file.
+func DFSSCC(ctx context.Context, g edgefile.Graph, dir string, opts DFSOptions, cfg iomodel.Config) (*DFSResult, error) {
 	cfg, err := cfg.Validate()
 	if err != nil {
 		return nil, err
@@ -100,7 +102,7 @@ func DFSSCC(g edgefile.Graph, dir string, opts DFSOptions, cfg iomodel.Config) (
 	if dir == "" {
 		dir = cfg.TempDir
 	}
-	s := &dfsState{g: g, dir: dir, opts: opts, cfg: cfg, start: time.Now(), ioBase: cfg.Stats.Snapshot()}
+	s := &dfsState{ctx: ctx, g: g, dir: dir, opts: opts, cfg: cfg, start: time.Now(), ioBase: cfg.Stats.Snapshot()}
 	res, err := s.run()
 	if err != nil {
 		s.cleanup()
@@ -110,6 +112,9 @@ func DFSSCC(g edgefile.Graph, dir string, opts DFSOptions, cfg iomodel.Config) (
 }
 
 func (s *dfsState) run() (*DFSResult, error) {
+	if err := s.checkBudget(); err != nil {
+		return nil, err
+	}
 	// Adjacency structure for the forward graph: the edge file sorted by
 	// source; per-node adjacency is located by binary search (random I/Os).
 	forward := s.temp("dfs-forward")

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -22,8 +23,6 @@ type EMOptions struct {
 	// MaxIterations caps the contraction loop; reaching it without fitting in
 	// memory is reported as non-convergence (0 = 64).
 	MaxIterations int
-	// MaxDuration aborts the run once exceeded (0 = no limit).
-	MaxDuration time.Duration
 }
 
 // EMResult describes an EM-SCC run.
@@ -47,8 +46,9 @@ type EMResult struct {
 // loads memory-sized partitions of the edge file, contracts the SCCs found
 // inside each partition, and stops when the whole graph fits in memory.  If
 // an iteration contracts nothing while the graph is still too large, the run
-// is reported as not converged.
-func EMSCC(g edgefile.Graph, dir string, opts EMOptions, cfg iomodel.Config) (*EMResult, error) {
+// is reported as not converged.  Cancelling ctx aborts the run between
+// iterations and removes every intermediate file.
+func EMSCC(ctx context.Context, g edgefile.Graph, dir string, opts EMOptions, cfg iomodel.Config) (*EMResult, error) {
 	cfg, err := cfg.Validate()
 	if err != nil {
 		return nil, err
@@ -108,8 +108,8 @@ func EMSCC(g edgefile.Graph, dir string, opts EMOptions, cfg iomodel.Config) (*E
 	currentEdges := g.NumEdges
 
 	for iter := 0; iter < maxIter; iter++ {
-		if opts.MaxDuration > 0 && time.Since(start) > opts.MaxDuration {
-			return nil, ErrBudgetExceeded
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		if currentEdges <= memEdgeLimit {
 			// The contracted graph fits in memory: solve it and compose the

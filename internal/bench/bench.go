@@ -12,6 +12,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -19,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"extscc"
 	"extscc/internal/baseline"
 	"extscc/internal/core"
 	"extscc/internal/edgefile"
@@ -34,7 +37,7 @@ const (
 	AlgoExt      = "Ext-SCC"
 	AlgoExtOp    = "Ext-SCC-Op"
 	AlgoEM       = "EM-SCC"
-	AlgoExtNoT2  = "Ext-SCC-Op/noType2"   // ablation: Type-2 dictionary disabled
+	AlgoExtNoT2  = "Ext-SCC-Op/noType2"    // ablation: Type-2 dictionary disabled
 	AlgoExtNoMem = "Ext-SCC-Op/streamSemi" // ablation: in-memory final solve disabled
 )
 
@@ -199,6 +202,10 @@ func (c Config) webParams() graphgen.WebGraphParams {
 	if c.Quick {
 		p.NumNodes = 6000
 		p.AvgDegree = 8
+		// Keep the giant core well below the smallest quick-mode node budget
+		// (0.5|V|): contracting into a dense core rewires quadratically many
+		// edges, which is exactly the regime the smoke runs must avoid.
+		p.CoreFraction = 0.2
 	}
 	return p
 }
@@ -228,27 +235,92 @@ func (c Config) syntheticQuick(p graphgen.SyntheticParams) graphgen.SyntheticPar
 // Algorithm runners
 // ---------------------------------------------------------------------------
 
-// runSuite runs DFS-SCC, Ext-SCC and Ext-SCC-Op on g with the given node
+// suite maps the registry names of the standard comparison suite to the
+// series names of the paper's legends.  Budgeted entries run under the
+// configured time and I/O caps and are reported as INF when they exceed
+// them, like the paper's 24-hour limit; the Ext variants must complete, so
+// they run uncapped.
+var suite = []struct {
+	algo     string
+	series   string
+	budgeted bool
+}{
+	{"ext-scc", AlgoExt, false},
+	{"ext-scc-op", AlgoExtOp, false},
+	{"dfs-scc", AlgoDFS, true},
+}
+
+// runSuite runs the standard comparison suite (Ext-SCC, Ext-SCC-Op and
+// DFS-SCC, resolved through the algorithm registry) on g with the given node
 // budget and appends one measurement per algorithm.
 func runSuite(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64) ([]Measurement, error) {
 	var out []Measurement
-	m, err := runExt(c, experiment, x, g, nodeBudget, core.Options{Optimized: false}, AlgoExt)
-	if err != nil {
-		return nil, err
+	for _, s := range suite {
+		m, err := runRegistered(c, experiment, x, g, nodeBudget, s.algo, s.series, s.budgeted)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
 	}
-	out = append(out, m)
-	m, err = runExt(c, experiment, x, g, nodeBudget, core.Options{Optimized: true}, AlgoExtOp)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, m)
-	out = append(out, runDFS(c, experiment, x, g, nodeBudget))
 	return out, nil
 }
 
+// runRegistered runs one registry algorithm on the pre-staged graph g.
+func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64, algo, series string, budgeted bool) (Measurement, error) {
+	opts := []extscc.Option{
+		extscc.WithAlgorithm(algo),
+		extscc.WithMemory(iomodel.DefaultMemory),
+		extscc.WithBlockSize(iomodel.DefaultBlockSize),
+		extscc.WithNodeBudget(nodeBudget),
+		extscc.WithTempDir(c.TempDir),
+	}
+	ctx := context.Background()
+	if budgeted {
+		budget := c.DFSBudget
+		maxIOs := c.DFSMaxIOs
+		if c.Quick {
+			if budget > 2*time.Second {
+				budget = 2 * time.Second
+			}
+			if maxIOs > 200_000 {
+				maxIOs = 200_000
+			}
+		}
+		opts = append(opts, extscc.WithMaxIOs(maxIOs))
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	eng, err := extscc.New(opts...)
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, err := eng.Run(ctx, extscc.PreparedSource(g.EdgePath, g.NodePath, g.NumNodes, g.NumEdges))
+	switch {
+	case errors.Is(err, extscc.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded):
+		return Measurement{Experiment: experiment, Series: series, X: x, INF: true, Note: "exceeded budget"}, nil
+	case err != nil:
+		return Measurement{}, err
+	}
+	defer res.Close()
+	return Measurement{
+		Experiment: experiment,
+		Series:     series,
+		X:          x,
+		Duration:   res.Stats.Duration,
+		TotalIOs:   res.Stats.TotalIOs,
+		RandomIOs:  res.Stats.RandomIOs,
+		Iterations: res.Stats.ContractionIterations,
+		NumSCCs:    res.NumSCCs,
+	}, nil
+}
+
+// runExt runs one Ext-SCC variant with explicit core options; the ablation
+// experiment uses it to toggle internal knobs the public engine does not
+// expose.
 func runExt(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64, opts core.Options, series string) (Measurement, error) {
 	cfg := c.ioConfig(nodeBudget)
-	res, err := core.ExtSCC(g, c.TempDir, opts, cfg)
+	res, err := core.ExtSCC(context.Background(), g, c.TempDir, opts, cfg)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -263,37 +335,6 @@ func runExt(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64, 
 		Iterations: len(res.Iterations),
 		NumSCCs:    res.NumSCCs,
 	}, nil
-}
-
-func runDFS(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64) Measurement {
-	cfg := c.ioConfig(nodeBudget)
-	budget := c.DFSBudget
-	maxIOs := c.DFSMaxIOs
-	if c.Quick {
-		if budget > 2*time.Second {
-			budget = 2 * time.Second
-		}
-		if maxIOs > 200_000 {
-			maxIOs = 200_000
-		}
-	}
-	res, err := baseline.DFSSCC(g, c.TempDir, baseline.DFSOptions{MaxDuration: budget, MaxIOs: maxIOs}, cfg)
-	if err == baseline.ErrBudgetExceeded {
-		return Measurement{Experiment: experiment, Series: AlgoDFS, X: x, INF: true, Note: "exceeded budget"}
-	}
-	if err != nil {
-		return Measurement{Experiment: experiment, Series: AlgoDFS, X: x, INF: true, Note: err.Error()}
-	}
-	defer os.Remove(res.LabelPath)
-	return Measurement{
-		Experiment: experiment,
-		Series:     AlgoDFS,
-		X:          x,
-		Duration:   res.Duration,
-		TotalIOs:   res.IO.TotalIOs(),
-		RandomIOs:  res.IO.RandomIOs(),
-		NumSCCs:    res.NumSCCs,
-	}
 }
 
 // ---------------------------------------------------------------------------
@@ -327,6 +368,10 @@ func fig6(c Config) ([]Measurement, error) {
 	defer cleanup()
 	genCfg := c.ioConfig(0)
 	budget := int64(p.NumNodes) / 4
+	if c.Quick {
+		// See fig7: quarter-|V| budgets densify the quick web graph.
+		budget = int64(p.NumNodes) / 2
+	}
 
 	var out []Measurement
 	for _, pct := range []int{20, 40, 60, 80, 100} {
@@ -379,6 +424,10 @@ func memorySweep(c Config, experiment string, g edgefile.Graph, numNodes int, fr
 
 // fig7 varies the memory budget on the web graph, including a budget larger
 // than |V| where no contraction iteration is needed (the cliff of Fig. 7).
+// Quick mode starts the sweep at 0.5|V|: below roughly half the nodes the
+// contraction of the web-like graph densifies into a near-clique (each
+// removed node rewires up to deg² edges), which is far too slow for a smoke
+// run.
 func fig7(c Config) ([]Measurement, error) {
 	p := c.webParams()
 	g, cleanup, err := webGraph(c, p)
@@ -386,7 +435,11 @@ func fig7(c Config) ([]Measurement, error) {
 		return nil, err
 	}
 	defer cleanup()
-	return memorySweep(c, "fig7", g, p.NumNodes, []float64{0.25, 0.5, 0.75, 1.25})
+	fracs := []float64{0.25, 0.5, 0.75, 1.25}
+	if c.Quick {
+		fracs = []float64{0.5, 0.75, 1.0, 1.25}
+	}
+	return memorySweep(c, "fig7", g, p.NumNodes, fracs)
 }
 
 // fig8 varies the memory budget on one synthetic dataset family (Fig. 8).
@@ -497,11 +550,16 @@ func emscc(c Config) ([]Measurement, error) {
 	var out []Measurement
 	run := func(x string, g edgefile.Graph, partitionEdges int) error {
 		cfg := c.ioConfig(0)
-		res, err := baseline.EMSCC(g, c.TempDir, baseline.EMOptions{
+		ctx, cancel := context.WithTimeout(context.Background(), c.DFSBudget)
+		defer cancel()
+		res, err := baseline.EMSCC(ctx, g, c.TempDir, baseline.EMOptions{
 			PartitionEdges: partitionEdges,
 			MaxIterations:  16,
-			MaxDuration:    c.DFSBudget,
 		}, cfg)
+		if errors.Is(err, context.DeadlineExceeded) {
+			out = append(out, Measurement{Experiment: "emscc", Series: AlgoEM, X: x, INF: true, Note: "exceeded budget"})
+			return nil
+		}
 		if err != nil {
 			return err
 		}

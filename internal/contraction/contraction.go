@@ -12,6 +12,7 @@ package contraction
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 
@@ -53,9 +54,11 @@ type Result struct {
 }
 
 // Contract performs one contraction step on g, writing all produced files
-// into dir.  The input graph's files are left untouched.
-func Contract(g edgefile.Graph, dir string, opts Options, cfg iomodel.Config) (Result, error) {
-	c := &contractor{g: g, dir: dir, opts: opts, cfg: cfg}
+// into dir.  The input graph's files are left untouched.  Cancelling ctx
+// aborts the step between operators (and inside the long per-record loops)
+// and removes every intermediate file the step created.
+func Contract(ctx context.Context, g edgefile.Graph, dir string, opts Options, cfg iomodel.Config) (Result, error) {
+	c := &contractor{ctx: ctx, g: g, dir: dir, opts: opts, cfg: cfg}
 	res, err := c.run()
 	c.cleanup()
 	if err != nil {
@@ -67,6 +70,7 @@ func Contract(g edgefile.Graph, dir string, opts Options, cfg iomodel.Config) (R
 // contractor carries the intermediate file paths of one contraction step so
 // they can be cleaned up together.
 type contractor struct {
+	ctx  context.Context
 	g    edgefile.Graph
 	dir  string
 	opts Options
@@ -74,6 +78,10 @@ type contractor struct {
 
 	temps []string
 }
+
+// checkEvery is how many records the per-record loops process between two
+// cancellation checks.
+const checkEvery = 8192
 
 func (c *contractor) temp(prefix string) string {
 	p := blockio.TempFile(c.dir, prefix, c.cfg.Stats)
@@ -98,6 +106,9 @@ func (c *contractor) cleanup() {
 }
 
 func (c *contractor) run() (Result, error) {
+	if err := c.ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	// Step 1: the two sorted edge lists E_out (by source) and E_in (by
 	// target) of Algorithms 3 and 4.  Parallel edges are always eliminated
 	// while the file is sorted (Example 5.1 removes them when constructing
@@ -118,6 +129,9 @@ func (c *contractor) run() (Result, error) {
 
 	// Step 2: the degree table V_d.  Type-1 node reduction keeps only nodes
 	// with both a positive in-degree and a positive out-degree.
+	if err := c.ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	vd := c.temp("vd")
 	if _, err := edgefile.ComputeDegrees(eout, ein, vd, c.opts.Optimized, c.cfg); err != nil {
 		return Result{}, err
@@ -152,6 +166,9 @@ func (c *contractor) run() (Result, error) {
 	// Step 6: the edges of the contracted graph, E_{i+1} = E_pre ∪ E_add.
 	// In optimised mode the rewiring operates on the trimmed edge list (the
 	// projection of E_d), so every created edge has both ends in V_{i+1}.
+	if err := c.ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	baseEin, baseEout := ein, eout
 	if c.opts.Optimized {
 		baseEin, baseEout, err = c.projectTrimmed(ed)
@@ -341,6 +358,7 @@ func (c *contractor) buildCover(ed string) (string, error) {
 		dict = newType2Dict(size)
 	}
 
+	scanned := 0
 	for {
 		rec, err := r.Read()
 		if err == io.EOF {
@@ -349,6 +367,12 @@ func (c *contractor) buildCover(ed string) (string, error) {
 		if err != nil {
 			w.Close()
 			return "", err
+		}
+		if scanned++; scanned%checkEvery == 0 {
+			if err := c.ctx.Err(); err != nil {
+				w.Close()
+				return "", err
+			}
 		}
 		if rec.U == rec.V {
 			// A self-loop carries no inter-node connectivity, so it imposes no
@@ -491,7 +515,18 @@ func (c *contractor) buildEadd(baseEin, baseEout, coverPath string) (string, int
 	outEdges := recio.NewPeekable[record.Edge](outR.Iter())
 	var maxRemovedDeg uint64
 
+	// scanned counts written rewiring records, not removed nodes: one removed
+	// node can emit |ins|*|outs| edges, so counting nodes would leave the
+	// quadratic inner loop running unbounded work between cancellation
+	// checks.
+	scanned := 0
 	for inEdges.Valid() {
+		if scanned++; scanned%checkEvery == 0 {
+			if err := c.ctx.Err(); err != nil {
+				w.Close()
+				return "", 0, 0, err
+			}
+		}
 		v := inEdges.Peek().V
 		// Collect the in-neighbours of v (self-loops carry no inter-node
 		// connectivity and are skipped).
@@ -527,6 +562,12 @@ func (c *contractor) buildEadd(baseEin, baseEout, coverPath string) (string, int
 		}
 		for _, u := range ins {
 			for _, t := range outs {
+				if scanned++; scanned%checkEvery == 0 {
+					if err := c.ctx.Err(); err != nil {
+						w.Close()
+						return "", 0, 0, err
+					}
+				}
 				if u == t {
 					// The rewiring of a 2-cycle through the removed node would
 					// be a self-loop; it carries no SCC information (u and v
@@ -588,9 +629,9 @@ func (h type2Heap) Less(i, j int) bool {
 	// be evicted first.
 	return record.Greater(h[i].node, h[i].key, h[j].node, h[j].key)
 }
-func (h type2Heap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *type2Heap) Push(x any)        { *h = append(*h, x.(type2Entry)) }
-func (h *type2Heap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h type2Heap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *type2Heap) Push(x any)   { *h = append(*h, x.(type2Entry)) }
+func (h *type2Heap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 func newType2Dict(limit int) *type2Dict {
 	return &type2Dict{limit: limit, members: make(map[record.NodeID]record.NodeKey)}

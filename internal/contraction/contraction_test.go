@@ -1,6 +1,7 @@
 package contraction
 
 import (
+	"context"
 	"testing"
 
 	"extscc/internal/edgefile"
@@ -32,7 +33,7 @@ func contractAndCheckInvariants(t *testing.T, edges []record.Edge, nodes []recor
 	t.Helper()
 	cfg := testConfig(t)
 	g := buildGraph(t, cfg, edges, nodes)
-	res, err := Contract(g, cfg.TempDir, Options{Optimized: optimized}, cfg)
+	res, err := Contract(context.Background(), g, cfg.TempDir, Options{Optimized: optimized}, cfg)
 	if err != nil {
 		t.Fatalf("Contract(optimized=%v): %v", optimized, err)
 	}
@@ -174,13 +175,13 @@ func TestOptimizedRemovesAtLeastAsManyNodes(t *testing.T) {
 	edges := graphgen.Random(100, 300, 9)
 	cfg1 := testConfig(t)
 	g1 := buildGraph(t, cfg1, edges, nil)
-	basic, err := Contract(g1, cfg1.TempDir, Options{Optimized: false}, cfg1)
+	basic, err := Contract(context.Background(), g1, cfg1.TempDir, Options{Optimized: false}, cfg1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg2 := testConfig(t)
 	g2 := buildGraph(t, cfg2, edges, nil)
-	opt, err := Contract(g2, cfg2.TempDir, Options{Optimized: true}, cfg2)
+	opt, err := Contract(context.Background(), g2, cfg2.TempDir, Options{Optimized: true}, cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestContractUsesNoRandomIO(t *testing.T) {
 	cfg := testConfig(t)
 	g := buildGraph(t, cfg, graphgen.Random(100, 300, 11), nil)
 	before := cfg.Stats.Snapshot()
-	if _, err := Contract(g, cfg.TempDir, Options{Optimized: true}, cfg); err != nil {
+	if _, err := Contract(context.Background(), g, cfg.TempDir, Options{Optimized: true}, cfg); err != nil {
 		t.Fatal(err)
 	}
 	delta := cfg.Stats.Snapshot().Sub(before)

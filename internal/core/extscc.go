@@ -13,7 +13,7 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -28,16 +28,14 @@ import (
 	"extscc/internal/semiscc"
 )
 
-// ErrTimeLimit is returned when Options.MaxDuration elapses before the
-// algorithm finishes (the analogue of the paper's 24-hour cap).
-var ErrTimeLimit = errors.New("core: time limit exceeded")
-
 // DefaultMaxIterations bounds the contraction loop.  Lemma 5.2 guarantees
 // progress on every iteration, so the bound is a safety net, not part of the
 // algorithm.
 const DefaultMaxIterations = 256
 
-// Options configures an Ext-SCC run.
+// Options configures an Ext-SCC run.  Time limits are imposed through the
+// context passed to ExtSCC (the analogue of the paper's 24-hour cap is a
+// context.WithTimeout at the call site).
 type Options struct {
 	// Optimized enables the Section VII optimisations (Ext-SCC-Op).
 	Optimized bool
@@ -45,14 +43,17 @@ type Options struct {
 	Type2DictSize int
 	// MaxIterations bounds the contraction loop (0 = DefaultMaxIterations).
 	MaxIterations int
-	// MaxDuration aborts the run with ErrTimeLimit once exceeded (0 = none).
-	MaxDuration time.Duration
 	// ForceStreamingSemi forces the semi-external solver to stream edges even
 	// when the final contracted graph would fit in memory.
 	ForceStreamingSemi bool
 	// KeepTemp retains the run directory (intermediate graphs and label
 	// files) instead of deleting everything except the final label file.
 	KeepTemp bool
+	// OnIteration, when non-nil, is invoked after every completed contraction
+	// iteration with that iteration's statistics.  It runs on the computing
+	// goroutine; callers that cancel the run from the callback observe the
+	// cancellation before the next iteration starts.
+	OnIteration func(IterationStats)
 }
 
 // IterationStats records one contraction step for reporting.
@@ -109,8 +110,9 @@ func (r *Result) Cleanup() error {
 
 // ExtSCC computes all SCCs of g under the memory budget of cfg.
 // Intermediate files are written beneath dir (empty = cfg.TempDir or the
-// system temp directory).
-func ExtSCC(g edgefile.Graph, dir string, opts Options, cfg iomodel.Config) (*Result, error) {
+// system temp directory).  Cancelling ctx stops the computation within one
+// contraction or expansion step and removes the run directory.
+func ExtSCC(ctx context.Context, g edgefile.Graph, dir string, opts Options, cfg iomodel.Config) (*Result, error) {
 	cfg, err := cfg.Validate()
 	if err != nil {
 		return nil, err
@@ -122,7 +124,7 @@ func ExtSCC(g edgefile.Graph, dir string, opts Options, cfg iomodel.Config) (*Re
 	if err != nil {
 		return nil, fmt.Errorf("core: create run directory: %w", err)
 	}
-	res, err := run(g, runDir, opts, cfg)
+	res, err := run(ctx, g, runDir, opts, cfg)
 	if err != nil {
 		os.RemoveAll(runDir)
 		return nil, err
@@ -142,22 +144,15 @@ type removedStep struct {
 	removedPath string // sorted removed nodes V_i - V_{i+1}
 }
 
-func run(g edgefile.Graph, runDir string, opts Options, cfg iomodel.Config) (*Result, error) {
+func run(ctx context.Context, g edgefile.Graph, runDir string, opts Options, cfg iomodel.Config) (*Result, error) {
 	start := time.Now()
 	before := cfg.Stats.Snapshot()
 	maxIter := opts.MaxIterations
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIterations
 	}
-	deadline := time.Time{}
-	if opts.MaxDuration > 0 {
-		deadline = start.Add(opts.MaxDuration)
-	}
-	checkDeadline := func() error {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return ErrTimeLimit
-		}
-		return nil
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	result := &Result{RunDir: runDir, keepTemp: opts.KeepTemp, NumNodes: g.NumNodes}
@@ -170,17 +165,17 @@ func run(g edgefile.Graph, runDir string, opts Options, cfg iomodel.Config) (*Re
 	var steps []removedStep
 	var intermediateGraphs []edgefile.Graph
 	for current.NumNodes > capacity {
-		if err := checkDeadline(); err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if len(steps) >= maxIter {
 			return nil, fmt.Errorf("core: contraction did not reach the memory budget within %d iterations (|V|=%d, capacity=%d)", maxIter, current.NumNodes, capacity)
 		}
-		cres, err := contraction.Contract(current, runDir, copts, cfg)
+		cres, err := contraction.Contract(ctx, current, runDir, copts, cfg)
 		if err != nil {
 			return nil, err
 		}
-		result.Iterations = append(result.Iterations, IterationStats{
+		it := IterationStats{
 			Index:            len(steps) + 1,
 			NumNodes:         current.NumNodes,
 			NumEdges:         current.NumEdges,
@@ -188,13 +183,20 @@ func run(g edgefile.Graph, runDir string, opts Options, cfg iomodel.Config) (*Re
 			PreservedEdges:   cres.PreservedEdges,
 			AddedEdges:       cres.AddedEdges,
 			MaxRemovedDegree: cres.MaxRemovedDegree,
-		})
+		}
+		result.Iterations = append(result.Iterations, it)
+		if opts.OnIteration != nil {
+			opts.OnIteration(it)
+		}
 		steps = append(steps, removedStep{edgePath: current.EdgePath, removedPath: cres.RemovedPath})
 		current = cres.Next
 		intermediateGraphs = append(intermediateGraphs, cres.Next)
 	}
 
 	// Semi-external base case (Algorithm 2, line 5).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	semiRes, err := semiscc.Compute(current, runDir, semiscc.Options{ForceStreaming: opts.ForceStreamingSemi}, cfg)
 	if err != nil {
 		return nil, err
@@ -205,7 +207,7 @@ func run(g edgefile.Graph, runDir string, opts Options, cfg iomodel.Config) (*Re
 	// Graph-expansion phase (Algorithm 2, lines 6-9): add the removed nodes
 	// back in reverse order of removal.
 	for i := len(steps) - 1; i >= 0; i-- {
-		if err := checkDeadline(); err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		eres, err := expansion.Expand(expansion.Input{

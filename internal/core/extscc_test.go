@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"testing"
@@ -35,7 +36,7 @@ func runAndCompare(t *testing.T, edges []record.Edge, nodes []record.NodeID, nod
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ExtSCC(g, cfg.TempDir, Options{Optimized: optimized}, cfg)
+	res, err := ExtSCC(context.Background(), g, cfg.TempDir, Options{Optimized: optimized}, cfg)
 	if err != nil {
 		t.Fatalf("ExtSCC: %v", err)
 	}
@@ -182,7 +183,7 @@ func TestExtSCCMatchesTarjanProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := ExtSCC(g, cfg.TempDir, Options{Optimized: seed%2 == 0}, cfg)
+		res, err := ExtSCC(context.Background(), g, cfg.TempDir, Options{Optimized: seed%2 == 0}, cfg)
 		if err != nil {
 			return false
 		}
@@ -219,7 +220,7 @@ func TestExtSCCPerformsNoRandomIO(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := cfg.Stats.Snapshot()
-	res, err := ExtSCC(g, cfg.TempDir, Options{}, cfg)
+	res, err := ExtSCC(context.Background(), g, cfg.TempDir, Options{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,16 +270,58 @@ func TestExtSCCIterationStatsConsistent(t *testing.T) {
 	}
 }
 
-func TestExtSCCTimeLimit(t *testing.T) {
+func TestExtSCCCancelled(t *testing.T) {
 	cfg := testConfig(t, 5)
 	edges := graphgen.Random(200, 600, 2)
 	g, err := edgefile.WriteGraph(cfg.TempDir, edges, nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = ExtSCC(g, cfg.TempDir, Options{MaxDuration: 1}, cfg)
-	if err != ErrTimeLimit {
-		t.Fatalf("expected ErrTimeLimit, got %v", err)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = ExtSCC(ctx, g, cfg.TempDir, Options{}, cfg)
+	if err != context.Canceled {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+// TestExtSCCCancelledMidContraction cancels from the OnIteration callback and
+// verifies that the run stops within one contraction iteration and removes
+// its run directory.
+func TestExtSCCCancelledMidContraction(t *testing.T) {
+	cfg := testConfig(t, 5)
+	edges := graphgen.Random(200, 600, 2)
+	g, err := edgefile.WriteGraph(cfg.TempDir, edges, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDir, err := os.MkdirTemp(cfg.TempDir, "cancel-run-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	iterations := 0
+	_, err = ExtSCC(ctx, g, runDir, Options{OnIteration: func(IterationStats) {
+		iterations++
+		cancel()
+	}}, cfg)
+	if err != context.Canceled {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if iterations != 1 {
+		t.Fatalf("run continued for %d iterations after cancellation", iterations)
+	}
+	entries, err := os.ReadDir(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("cancelled run left temp files behind: %v", names)
 	}
 }
 
@@ -289,7 +332,7 @@ func TestExtSCCForceStreamingSemi(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ExtSCC(g, cfg.TempDir, Options{ForceStreamingSemi: true}, cfg)
+	res, err := ExtSCC(context.Background(), g, cfg.TempDir, Options{ForceStreamingSemi: true}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +357,7 @@ func TestExtSCCKeepTemp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ExtSCC(g, cfg.TempDir, Options{KeepTemp: true}, cfg)
+	res, err := ExtSCC(context.Background(), g, cfg.TempDir, Options{KeepTemp: true}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

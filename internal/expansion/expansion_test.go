@@ -1,6 +1,7 @@
 package expansion
 
 import (
+	"context"
 	"testing"
 
 	"extscc/internal/contraction"
@@ -27,7 +28,7 @@ func contractThenExpand(t *testing.T, edges []record.Edge, nodes []record.NodeID
 	if err != nil {
 		t.Fatal(err)
 	}
-	cres, err := contraction.Contract(g, cfg.TempDir, contraction.Options{Optimized: optimized}, cfg)
+	cres, err := contraction.Contract(context.Background(), g, cfg.TempDir, contraction.Options{Optimized: optimized}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestExpandUsesNoRandomIO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cres, err := contraction.Contract(g, cfg.TempDir, contraction.Options{Optimized: true}, cfg)
+	cres, err := contraction.Contract(context.Background(), g, cfg.TempDir, contraction.Options{Optimized: true}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -174,11 +174,16 @@ type mergeHeap[T any] struct {
 	less  func(a, b T) bool
 }
 
-func (h *mergeHeap[T]) Len() int            { return len(h.items) }
-func (h *mergeHeap[T]) Less(i, j int) bool  { return h.less(h.items[i].rec, h.items[j].rec) }
-func (h *mergeHeap[T]) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *mergeHeap[T]) Push(x any)          { h.items = append(h.items, x.(mergeItem[T])) }
-func (h *mergeHeap[T]) Pop() any            { n := len(h.items); it := h.items[n-1]; h.items = h.items[:n-1]; return it }
+func (h *mergeHeap[T]) Len() int           { return len(h.items) }
+func (h *mergeHeap[T]) Less(i, j int) bool { return h.less(h.items[i].rec, h.items[j].rec) }
+func (h *mergeHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap[T]) Push(x any)         { h.items = append(h.items, x.(mergeItem[T])) }
+func (h *mergeHeap[T]) Pop() any {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}
 func (h *mergeHeap[T]) peek() mergeItem[T]  { return h.items[0] }
 func (h *mergeHeap[T]) fix(it mergeItem[T]) { h.items[0] = it; heap.Fix(h, 0) }
 

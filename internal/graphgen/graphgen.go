@@ -464,23 +464,23 @@ func DAGLayered(n, m int, seed int64) []record.Edge {
 func PaperExample() ([]record.Edge, []record.NodeID) {
 	// a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10 l=11 m=12
 	edges := []record.Edge{
-		{U: 0, V: 1},  // a->b
-		{U: 1, V: 2},  // b->c
-		{U: 2, V: 3},  // c->d
-		{U: 3, V: 4},  // d->e
-		{U: 4, V: 5},  // e->f
-		{U: 5, V: 6},  // f->g
-		{U: 6, V: 1},  // g->b
-		{U: 2, V: 4},  // c->e
-		{U: 4, V: 6},  // e->g
-		{U: 6, V: 7},  // g->h
-		{U: 5, V: 7},  // f->h
-		{U: 7, V: 8},  // h->i
-		{U: 8, V: 9},  // i->j
-		{U: 9, V: 10}, // j->k
+		{U: 0, V: 1},   // a->b
+		{U: 1, V: 2},   // b->c
+		{U: 2, V: 3},   // c->d
+		{U: 3, V: 4},   // d->e
+		{U: 4, V: 5},   // e->f
+		{U: 5, V: 6},   // f->g
+		{U: 6, V: 1},   // g->b
+		{U: 2, V: 4},   // c->e
+		{U: 4, V: 6},   // e->g
+		{U: 6, V: 7},   // g->h
+		{U: 5, V: 7},   // f->h
+		{U: 7, V: 8},   // h->i
+		{U: 8, V: 9},   // i->j
+		{U: 9, V: 10},  // j->k
 		{U: 10, V: 11}, // k->l
-		{U: 11, V: 8}, // l->i
-		{U: 8, V: 10}, // i->k
+		{U: 11, V: 8},  // l->i
+		{U: 8, V: 10},  // i->k
 		{U: 9, V: 12},  // j->m  (m has no outgoing edge back, so it stays a singleton)
 		{U: 10, V: 8},  // k->i
 		{U: 11, V: 9},  // l->j

@@ -14,10 +14,10 @@ import (
 // Graph is an in-memory directed graph over arbitrary uint32 node
 // identifiers.  Nodes are mapped to dense indices internally.
 type Graph struct {
-	ids    []record.NodeID            // index -> node id
-	index  map[record.NodeID]int      // node id -> index
-	adj    [][]int32                  // out-adjacency by index
-	radj   [][]int32                  // in-adjacency by index (built lazily)
+	ids    []record.NodeID       // index -> node id
+	index  map[record.NodeID]int // node id -> index
+	adj    [][]int32             // out-adjacency by index
+	radj   [][]int32             // in-adjacency by index (built lazily)
 	edges  int64
 	hasRev bool
 }

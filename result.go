@@ -1,0 +1,153 @@
+package extscc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+	"time"
+
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+// Stats summarises the I/O behaviour of a computation.
+type Stats struct {
+	// TotalIOs is the number of block transfers (reads plus writes).
+	TotalIOs int64
+	// RandomIOs is the number of non-sequential block transfers.
+	RandomIOs int64
+	// BytesRead and BytesWritten are the transferred volumes.
+	BytesRead    int64
+	BytesWritten int64
+	// ContractionIterations is the number of contraction steps performed
+	// (0 for algorithms that do not contract).
+	ContractionIterations int
+	// Duration is the wall-clock time of the computation.
+	Duration time.Duration
+}
+
+// Result is the outcome of a computation.
+type Result struct {
+	// Algorithm is the registered name of the algorithm that produced the
+	// result.
+	Algorithm string
+	// NumNodes is the number of labelled nodes.
+	NumNodes int64
+	// NumEdges is the number of edges of the input graph.
+	NumEdges int64
+	// NumSCCs is the number of strongly connected components.
+	NumSCCs int64
+	// LabelPath is the on-disk label file (one 8-byte (node, scc) record per
+	// node, sorted by node id).  It lives inside a run directory that is
+	// removed by Close, unless ExportLabels moved it out first.
+	LabelPath string
+	// Stats summarises the run.
+	Stats Stats
+
+	runDir    string
+	cfg       iomodel.Config
+	streamErr error
+}
+
+// Stream iterates the label assignment as (node, SCC label) pairs in node-id
+// order, reading LabelPath block by block — the node set never has to fit in
+// memory.  If the underlying read fails, the sequence ends early and Err
+// reports the failure.
+func (r *Result) Stream() iter.Seq2[NodeID, uint32] {
+	return func(yield func(NodeID, uint32) bool) {
+		r.streamErr = nil
+		rd, err := recio.NewReader(r.LabelPath, record.LabelCodec{}, r.cfg)
+		if err != nil {
+			r.streamErr = err
+			return
+		}
+		defer rd.Close()
+		for {
+			l, err := rd.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				r.streamErr = err
+				return
+			}
+			if !yield(l.Node, l.SCC) {
+				return
+			}
+		}
+	}
+}
+
+// Err reports the error, if any, that terminated the most recent Stream
+// iteration early.
+func (r *Result) Err() error { return r.streamErr }
+
+// Labels loads the full label assignment into memory.  Use it only when the
+// node set fits in memory; otherwise Stream.
+func (r *Result) Labels() ([]Label, error) {
+	return recio.ReadAll(r.LabelPath, record.LabelCodec{}, r.cfg)
+}
+
+// LabelMap loads the assignment as a map from node to SCC label.
+func (r *Result) LabelMap() (map[NodeID]uint32, error) {
+	labels, err := r.Labels()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[NodeID]uint32, len(labels))
+	for _, l := range labels {
+		m[l.Node] = l.SCC
+	}
+	return m, nil
+}
+
+// ExportLabels moves the label file out of the run directory to path, so it
+// survives Close.  It renames when source and destination share a
+// filesystem and falls back to a streamed copy (removing the original)
+// otherwise.  On success LabelPath points at the exported file.
+func (r *Result) ExportLabels(path string) error {
+	if r == nil || r.LabelPath == "" {
+		return errors.New("extscc: result has no label file")
+	}
+	if err := os.Rename(r.LabelPath, path); err == nil {
+		r.LabelPath = path
+		return nil
+	}
+	src, err := os.Open(r.LabelPath)
+	if err != nil {
+		return fmt.Errorf("extscc: export labels: %w", err)
+	}
+	defer src.Close()
+	dst, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("extscc: export labels: %w", err)
+	}
+	if _, err := io.Copy(dst, src); err != nil {
+		dst.Close()
+		os.Remove(path)
+		return fmt.Errorf("extscc: export labels: %w", err)
+	}
+	if err := dst.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("extscc: export labels: %w", err)
+	}
+	// The copy succeeded; drop the original so the run directory does not
+	// keep a second, identical label file around.
+	os.Remove(r.LabelPath)
+	r.LabelPath = path
+	return nil
+}
+
+// Close removes the result's run directory (including LabelPath, unless it
+// was exported).  It is idempotent and safe on a nil receiver.
+func (r *Result) Close() error {
+	if r == nil || r.runDir == "" {
+		return nil
+	}
+	dir := r.runDir
+	r.runDir = ""
+	return os.RemoveAll(dir)
+}
