@@ -1,0 +1,46 @@
+# Targets mirror the CI jobs (.github/workflows/ci.yml) so any CI failure can
+# be reproduced locally with one command.
+
+GO ?= go
+
+.PHONY: all build test race lint bench bench-baseline
+
+all: lint test race
+
+build:
+	$(GO) build ./...
+
+# Mirrors the `test` job (tier-1 verify).
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Mirrors the `race` job: the WithWorkers pools under the race detector.
+race:
+	$(GO) test -race -short ./...
+
+# Mirrors the `lint` job.  staticcheck is skipped when not installed so the
+# target works offline; CI always runs it.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it; go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; \
+	fi
+
+# Mirrors the `bench` job: quick fig7, workers=1 vs workers=NumCPU, identical
+# SCCs and I/O counts enforced, sequential I/O counts gated against the
+# committed baseline.
+bench:
+	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-workers -workers 0 \
+		-json BENCH_quick.json -csv BENCH_quick.csv \
+		-baseline bench/baseline.json -tolerance 0.25
+
+# Refresh the committed baseline after an intentional I/O-count change;
+# commit the resulting bench/baseline.json.
+bench-baseline:
+	$(GO) run ./cmd/sccbench -experiment fig7 -quick -workers 1 -json bench/baseline.json

@@ -7,6 +7,15 @@
 //
 //	sccbench -experiment fig6
 //	sccbench -experiment all -quick -csv results.csv
+//	sccbench -experiment fig7 -quick -compare-workers -json BENCH_quick.json \
+//	         -baseline bench/baseline.json
+//
+// -compare-workers runs every experiment twice — sequential (workers=1) and
+// parallel (the -workers count, defaulting to all CPUs) — and fails unless
+// both runs agree on every SCC count and every accounted I/O count; it then
+// reports the wall-clock speedup.  -json writes all measurements as a JSON
+// report; -baseline gates the sequential measurements against a committed
+// report and exits non-zero on a regression beyond -tolerance.
 package main
 
 import (
@@ -14,6 +23,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"extscc/internal/bench"
 )
@@ -27,31 +38,128 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads further for a fast smoke run")
 	tempDir := flag.String("tmp", os.TempDir(), "directory for graphs and intermediate files")
 	csvPath := flag.String("csv", "", "also write measurements as CSV to this file")
+	workers := flag.Int("workers", 1, "worker count for the parallel sorter and overlapped I/O (0 = all CPUs)")
+	compareWorkers := flag.Bool("compare-workers", false, "run sequentially and with -workers workers, verify identical SCCs and I/O counts, report the speedup")
+	jsonPath := flag.String("json", "", "write measurements as a JSON report to this file")
+	baselinePath := flag.String("baseline", "", "gate the workers=1 measurements against this committed JSON report")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional I/O regression against -baseline")
 	flag.Parse()
 
-	cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir}
-	var (
-		ms  []bench.Measurement
-		err error
-	)
-	if *experiment == "all" {
-		ms, err = bench.RunAll(cfg)
+	if *compareWorkers && *workers == 1 {
+		log.Fatal("-compare-workers needs a parallel worker count: pass -workers 0 (all CPUs) or -workers N with N > 1")
+	}
+	resolvedWorkers := *workers
+	if resolvedWorkers < 1 {
+		resolvedWorkers = runtime.NumCPU()
+	}
+
+	runOnce := func(w int) ([]bench.Measurement, error) {
+		cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: w}
+		if *experiment == "all" {
+			return bench.RunAll(cfg)
+		}
+		return bench.Run(*experiment, cfg)
+	}
+
+	// Gate failures are collected, not fatal, so the table, CSV and JSON
+	// report are always emitted first — CI uploads them as the diagnostic
+	// artifact of a failing run.
+	var gateFailures []string
+	var ms []bench.Measurement
+	if *compareWorkers {
+		seq, err := runOnce(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms = seq
+		if resolvedWorkers > 1 {
+			par, err := runOnce(resolvedWorkers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ms = append(ms, par...)
+			if violations := bench.VerifyWorkerEquivalence(ms); len(violations) > 0 {
+				for _, v := range violations {
+					log.Printf("worker-equivalence violation: %s", v)
+				}
+				gateFailures = append(gateFailures,
+					fmt.Sprintf("workers=1 and workers=%d disagree on %d measurement(s)", resolvedWorkers, len(violations)))
+			} else {
+				seqTotal, parTotal := totalDuration(seq), totalDuration(par)
+				speedup := "n/a"
+				if parTotal > 0 {
+					speedup = fmt.Sprintf("%.2fx", float64(seqTotal)/float64(parTotal))
+				}
+				fmt.Printf("worker comparison: workers=1 took %s, workers=%d took %s (speedup %s); SCCs and I/O counts identical\n",
+					seqTotal.Round(time.Millisecond), resolvedWorkers, parTotal.Round(time.Millisecond), speedup)
+			}
+		} else {
+			fmt.Println("worker comparison: only one CPU available, parallel run skipped")
+		}
 	} else {
-		ms, err = bench.Run(*experiment, cfg)
+		var err error
+		ms, err = runOnce(resolvedWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	if err != nil {
-		log.Fatal(err)
-	}
+
 	fmt.Print(bench.FormatTable(ms))
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		if err := bench.WriteCSV(f, ms); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("CSV written to %s\n", *csvPath)
 	}
+
+	cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: resolvedWorkers}
+	report := bench.NewReport(*experiment, cfg, ms)
+	if *jsonPath != "" {
+		if err := report.WriteFile(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("JSON report written to %s\n", *jsonPath)
+	}
+
+	if *baselinePath != "" {
+		base, err := bench.LoadReport(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if violations := bench.CompareToBaseline(report, base, *tolerance); len(violations) > 0 {
+			for _, v := range violations {
+				log.Printf("baseline violation: %s", v)
+			}
+			gateFailures = append(gateFailures,
+				fmt.Sprintf("%d regression(s) beyond %.0f%% against %s", len(violations), *tolerance*100, *baselinePath))
+		} else {
+			fmt.Printf("baseline check passed against %s (tolerance %.0f%%)\n", *baselinePath, *tolerance*100)
+		}
+	}
+
+	if len(gateFailures) > 0 {
+		for _, f := range gateFailures {
+			log.Print(f)
+		}
+		os.Exit(1)
+	}
+}
+
+// totalDuration sums the wall-clock of all non-INF measurements.
+func totalDuration(ms []bench.Measurement) time.Duration {
+	var d time.Duration
+	for _, m := range ms {
+		if !m.INF {
+			d += m.Duration
+		}
+	}
+	return d
 }

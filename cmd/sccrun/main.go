@@ -33,6 +33,7 @@ func main() {
 	memory := flag.Int64("memory", iomodel.DefaultMemory, "memory budget in bytes")
 	block := flag.Int("block", iomodel.DefaultBlockSize, "block size in bytes")
 	nodeBudget := flag.Int64("node-budget", 0, "override the semi-external node capacity")
+	workers := flag.Int("workers", 0, "worker count for the parallel sorter and overlapped I/O (0 = all CPUs, 1 = sequential)")
 	tempDir := flag.String("tmp", os.TempDir(), "directory for intermediate files")
 	maxDur := flag.Duration("max-duration", 0, "abort after this duration (0 = unlimited)")
 	maxIOs := flag.Int64("max-ios", 0, "abort after this many block I/Os, for algorithms that support the cap (0 = unlimited)")
@@ -54,6 +55,7 @@ func main() {
 		extscc.WithMemory(*memory),
 		extscc.WithBlockSize(*block),
 		extscc.WithNodeBudget(*nodeBudget),
+		extscc.WithWorkers(*workers),
 		extscc.WithTempDir(*tempDir),
 		extscc.WithMaxIOs(*maxIOs),
 		extscc.WithProgress(func(p extscc.Progress) {
@@ -87,8 +89,8 @@ func main() {
 	if res.Stats.ContractionIterations > 0 {
 		fmt.Printf("contraction iterations: %d\n", res.Stats.ContractionIterations)
 	}
-	fmt.Printf("SCCs: %d\ntime: %s\nI/Os: %d (random %d)\nbytes: read %d, written %d\n",
-		res.NumSCCs, res.Stats.Duration.Round(time.Millisecond),
+	fmt.Printf("SCCs: %d\ntime: %s (%d workers)\nI/Os: %d (random %d)\nbytes: read %d, written %d\n",
+		res.NumSCCs, res.Stats.Duration.Round(time.Millisecond), res.Stats.Workers,
 		res.Stats.TotalIOs, res.Stats.RandomIOs, res.Stats.BytesRead, res.Stats.BytesWritten)
 
 	if *out != "" {

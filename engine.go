@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"extscc/internal/edgefile"
@@ -94,6 +95,25 @@ func WithMaxIOs(n int64) Option {
 	}
 }
 
+// WithWorkers sets the number of concurrent workers the external-memory
+// primitives may use: parallel run formation and merging in the external
+// sort (which every contraction iteration dispatches through) and the
+// overlapped (prefetching / write-behind) block I/O.  0 means
+// runtime.GOMAXPROCS(0), the default; 1 forces the fully sequential
+// behaviour.  The labelling, the number of SCCs, and every accounted I/O
+// count are identical at every worker count — run boundaries and merge
+// structure are derived from the memory budget only — so the paper's I/O
+// model is unaffected; only the wall-clock changes.
+func WithWorkers(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("extscc: WithWorkers(%d): worker count cannot be negative", n)
+		}
+		e.base.Workers = n
+		return nil
+	}
+}
+
 // WithProgress installs a callback that receives progress events (one per
 // contraction iteration for the contraction-based algorithms).  The callback
 // runs on the computing goroutine, so cancelling the run's context from
@@ -126,9 +146,13 @@ func New(opts ...Option) (*Engine, error) {
 		Memory:     e.base.Memory,
 		NodeBudget: e.base.NodeBudget,
 		TempDir:    e.base.TempDir,
+		Workers:    e.base.Workers,
 	}.Validate()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	cfg.Stats = nil // each Run allocates its own counters
 	e.base = cfg
@@ -200,6 +224,7 @@ func (e *Engine) Run(ctx context.Context, src Source) (*Result, error) {
 		Memory:     cfg.Memory,
 		BlockSize:  cfg.BlockSize,
 		NodeBudget: cfg.NodeBudget,
+		Workers:    cfg.WorkerCount(),
 		MaxIOs:     e.maxIOs,
 		KeepTemp:   e.keepTemp,
 		Progress:   e.progress,
@@ -225,6 +250,7 @@ func (e *Engine) Run(ctx context.Context, src Source) (*Result, error) {
 			BytesRead:             delta.BytesRead,
 			BytesWritten:          delta.BytesWritten,
 			ContractionIterations: ares.Iterations,
+			Workers:               cfg.WorkerCount(),
 			Duration:              time.Since(start),
 		},
 		runDir: runDir,

@@ -325,3 +325,105 @@ func mustCfg(t *testing.T) iomodel.Config {
 	}
 	return cfg
 }
+
+// TestWithWorkersMatchesSequential is the engine-level determinism contract
+// of WithWorkers: at any worker count the labelling is byte-identical to the
+// sequential run and every accounted I/O matches exactly.
+func TestWithWorkersMatchesSequential(t *testing.T) {
+	edges := graphgen.Random(180, 540, 17)
+	runWith := func(workers int) ([]extscc.Label, extscc.Stats) {
+		eng, err := extscc.New(
+			extscc.WithAlgorithm("ext-scc-op"),
+			extscc.WithNodeBudget(30), // force several contraction iterations
+			extscc.WithWorkers(workers),
+			extscc.WithTempDir(t.TempDir()),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(context.Background(), extscc.SliceSource(edges))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		defer res.Close()
+		labels, err := res.Labels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return labels, res.Stats
+	}
+
+	seqLabels, seqStats := runWith(1)
+	if seqStats.Workers != 1 {
+		t.Fatalf("Stats.Workers = %d, want 1", seqStats.Workers)
+	}
+	for _, workers := range []int{2, 4} {
+		labels, stats := runWith(workers)
+		if stats.Workers != workers {
+			t.Errorf("Stats.Workers = %d, want %d", stats.Workers, workers)
+		}
+		if len(labels) != len(seqLabels) {
+			t.Fatalf("workers=%d: %d labels, want %d", workers, len(labels), len(seqLabels))
+		}
+		for i := range labels {
+			if labels[i] != seqLabels[i] {
+				t.Fatalf("workers=%d: label %d = %v, sequential %v", workers, i, labels[i], seqLabels[i])
+			}
+		}
+		if stats.TotalIOs != seqStats.TotalIOs || stats.RandomIOs != seqStats.RandomIOs ||
+			stats.BytesRead != seqStats.BytesRead || stats.BytesWritten != seqStats.BytesWritten {
+			t.Errorf("workers=%d: I/O accounting differs from sequential:\n  seq: %+v\n  par: %+v", workers, seqStats, stats)
+		}
+	}
+}
+
+// TestWithWorkersRejectsNegative verifies option validation.
+func TestWithWorkersRejectsNegative(t *testing.T) {
+	if _, err := extscc.New(extscc.WithWorkers(-1)); err == nil {
+		t.Fatal("WithWorkers(-1) should be rejected")
+	}
+}
+
+// TestCancelMidContractionCleansUpParallel extends the cancellation
+// acceptance test over the worker pool: cancelling with N>1 workers must
+// drain every worker and leave no temp files behind.
+func TestCancelMidContractionCleansUpParallel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		dir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		iterations := 0
+		eng, err := extscc.New(
+			extscc.WithAlgorithm("ext-scc-op"),
+			extscc.WithNodeBudget(8),
+			extscc.WithWorkers(workers),
+			extscc.WithTempDir(dir),
+			extscc.WithProgress(func(p extscc.Progress) {
+				iterations++
+				cancel()
+			}),
+		)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		_, err = eng.Run(ctx, extscc.SliceSource(graphgen.Random(300, 900, 1)))
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: expected context.Canceled, got %v", workers, err)
+		}
+		if iterations != 1 {
+			t.Fatalf("workers=%d: run continued for %d contraction iterations after cancellation", workers, iterations)
+		}
+		entries, rerr := os.ReadDir(dir)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if len(entries) != 0 {
+			names := make([]string, 0, len(entries))
+			for _, e := range entries {
+				names = append(names, e.Name())
+			}
+			t.Fatalf("workers=%d: cancelled run left temp files behind: %v", workers, names)
+		}
+	}
+}

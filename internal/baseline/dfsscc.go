@@ -158,7 +158,7 @@ func (s *dfsState) run() (*DFSResult, error) {
 
 	// Final labels sorted by node id.
 	labelPath := blockio.TempFile(s.dir, "dfs-labels", s.cfg.Stats)
-	sorter := extsort.New[record.Label](record.LabelCodec{}, record.LabelByNode, s.cfg)
+	sorter := extsort.NewContext[record.Label](s.ctx, record.LabelCodec{}, record.LabelByNode, s.cfg)
 	if err := sorter.SortFile(labelsRaw, labelPath); err != nil {
 		return nil, err
 	}

@@ -49,6 +49,10 @@ type Measurement struct {
 	Series string
 	// X is the swept parameter value (e.g. "60%" or "M=V/4").
 	X string
+	// Workers is the worker count the run executed with.  It never changes
+	// TotalIOs/RandomIOs (the parallel sorter keeps the accounted I/O
+	// identical), only Duration.
+	Workers int
 	// Duration is the wall-clock time of the run (0 when INF).
 	Duration time.Duration
 	// TotalIOs and RandomIOs are block-transfer counts (0 when INF).
@@ -78,6 +82,10 @@ type Config struct {
 	// Quick shrinks every workload further (used by the testing.B benches and
 	// by -quick) so a full sweep finishes in seconds.
 	Quick bool
+	// Workers is the worker count for the parallel sorter and overlapped
+	// I/O.  0 and 1 both mean sequential, the paper's reference execution;
+	// the measured I/O counts are identical at every setting.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +104,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// resolvedWorkers returns the effective worker count of the configuration.
+func (c Config) resolvedWorkers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
 // ioConfig builds the I/O-model configuration for one run.
 func (c Config) ioConfig(nodeBudget int64) iomodel.Config {
 	return iomodel.Config{
@@ -103,6 +119,7 @@ func (c Config) ioConfig(nodeBudget int64) iomodel.Config {
 		Memory:     iomodel.DefaultMemory,
 		NodeBudget: nodeBudget,
 		TempDir:    c.TempDir,
+		Workers:    c.resolvedWorkers(),
 		Stats:      &iomodel.Stats{},
 	}
 }
@@ -272,6 +289,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 		extscc.WithMemory(iomodel.DefaultMemory),
 		extscc.WithBlockSize(iomodel.DefaultBlockSize),
 		extscc.WithNodeBudget(nodeBudget),
+		extscc.WithWorkers(c.resolvedWorkers()),
 		extscc.WithTempDir(c.TempDir),
 	}
 	ctx := context.Background()
@@ -298,7 +316,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 	res, err := eng.Run(ctx, extscc.PreparedSource(g.EdgePath, g.NodePath, g.NumNodes, g.NumEdges))
 	switch {
 	case errors.Is(err, extscc.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded):
-		return Measurement{Experiment: experiment, Series: series, X: x, INF: true, Note: "exceeded budget"}, nil
+		return Measurement{Experiment: experiment, Series: series, X: x, Workers: c.resolvedWorkers(), INF: true, Note: "exceeded budget"}, nil
 	case err != nil:
 		return Measurement{}, err
 	}
@@ -307,6 +325,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 		Experiment: experiment,
 		Series:     series,
 		X:          x,
+		Workers:    res.Stats.Workers,
 		Duration:   res.Stats.Duration,
 		TotalIOs:   res.Stats.TotalIOs,
 		RandomIOs:  res.Stats.RandomIOs,
@@ -329,6 +348,7 @@ func runExt(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64, 
 		Experiment: experiment,
 		Series:     series,
 		X:          x,
+		Workers:    cfg.WorkerCount(),
 		Duration:   res.Duration,
 		TotalIOs:   res.IO.TotalIOs(),
 		RandomIOs:  res.IO.RandomIOs(),
@@ -680,12 +700,12 @@ func FormatTable(ms []Measurement) string {
 
 // WriteCSV writes measurements as CSV for plotting.
 func WriteCSV(w io.Writer, ms []Measurement) error {
-	if _, err := fmt.Fprintln(w, "experiment,x,algorithm,duration_ms,total_ios,random_ios,iterations,num_sccs,inf,note"); err != nil {
+	if _, err := fmt.Fprintln(w, "experiment,x,algorithm,workers,duration_ms,total_ios,random_ios,iterations,num_sccs,inf,note"); err != nil {
 		return err
 	}
 	for _, m := range ms {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%t,%q\n",
-			m.Experiment, m.X, m.Series, m.Duration.Milliseconds(), m.TotalIOs, m.RandomIOs,
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%t,%q\n",
+			m.Experiment, m.X, m.Series, m.Workers, m.Duration.Milliseconds(), m.TotalIOs, m.RandomIOs,
 			m.Iterations, m.NumSCCs, m.INF, m.Note); err != nil {
 			return err
 		}

@@ -115,7 +115,7 @@ func (c *contractor) run() (Result, error) {
 	// G_{i+1}; doing it lazily here costs no extra I/O); the optimised
 	// variant additionally drops self-loops (Section VII edge reduction).
 	sorted := c.temp("eout-sorted")
-	if err := edgefile.SortEdges(c.g.EdgePath, sorted, record.EdgeBySource, c.cfg); err != nil {
+	if err := edgefile.SortEdgesContext(c.ctx, c.g.EdgePath, sorted, record.EdgeBySource, c.cfg); err != nil {
 		return Result{}, err
 	}
 	eout := c.temp("eout")
@@ -123,7 +123,7 @@ func (c *contractor) run() (Result, error) {
 		return Result{}, err
 	}
 	ein := c.temp("ein")
-	if err := edgefile.SortEdges(eout, ein, record.EdgeByTarget, c.cfg); err != nil {
+	if err := edgefile.SortEdgesContext(c.ctx, eout, ein, record.EdgeByTarget, c.cfg); err != nil {
 		return Result{}, err
 	}
 
@@ -222,7 +222,7 @@ func (c *contractor) buildEd(eout, vd string) (string, error) {
 	}
 	// Re-sort by target.
 	byTarget := c.temp("ed-by-target")
-	sorter := extsort.New[record.EdgeAug](record.EdgeAugCodec{}, record.EdgeAugByTarget, c.cfg)
+	sorter := extsort.NewContext[record.EdgeAug](c.ctx, record.EdgeAugCodec{}, record.EdgeAugByTarget, c.cfg)
 	if err := sorter.SortFile(bySource, byTarget); err != nil {
 		return "", err
 	}
@@ -407,7 +407,7 @@ func (c *contractor) buildCover(ed string) (string, error) {
 	}
 
 	sorted := c.temp("cover-sorted")
-	sorter := extsort.New[record.NodeID](record.NodeCodec{}, record.NodeLess, c.cfg)
+	sorter := extsort.NewContext[record.NodeID](c.ctx, record.NodeCodec{}, record.NodeLess, c.cfg)
 	if err := sorter.SortFile(raw, sorted); err != nil {
 		return "", err
 	}
@@ -453,7 +453,7 @@ func (c *contractor) projectTrimmed(ed string) (einT, eoutT string, err error) {
 		return "", "", err
 	}
 	eoutT = c.temp("eout-trim")
-	if err := edgefile.SortEdges(einT, eoutT, record.EdgeBySource, c.cfg); err != nil {
+	if err := edgefile.SortEdgesContext(c.ctx, einT, eoutT, record.EdgeBySource, c.cfg); err != nil {
 		return "", "", err
 	}
 	return einT, eoutT, nil
@@ -467,7 +467,7 @@ func (c *contractor) buildEpre(baseEout, coverPath string) (string, int64, error
 		return "", 0, err
 	}
 	byTarget := c.temp("epre-by-target")
-	if err := edgefile.SortEdges(bySource, byTarget, record.EdgeByTarget, c.cfg); err != nil {
+	if err := edgefile.SortEdgesContext(c.ctx, bySource, byTarget, record.EdgeByTarget, c.cfg); err != nil {
 		return "", 0, err
 	}
 	epre := c.temp("epre")

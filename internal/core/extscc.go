@@ -210,7 +210,7 @@ func run(ctx context.Context, g edgefile.Graph, runDir string, opts Options, cfg
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		eres, err := expansion.Expand(expansion.Input{
+		eres, err := expansion.ExpandContext(ctx, expansion.Input{
 			EdgePath:       steps[i].edgePath,
 			RemovedPath:    steps[i].removedPath,
 			KeptLabelsPath: labels,

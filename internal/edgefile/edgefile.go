@@ -10,6 +10,7 @@
 package edgefile
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -164,7 +165,13 @@ func GraphFromEdgeFile(edgePath, dir string, extraNodes []record.NodeID, cfg iom
 // SortEdges sorts the edge file at in into a new file at out under the given
 // order (for example record.EdgeBySource or record.EdgeByTarget).
 func SortEdges(in, out string, less func(a, b record.Edge) bool, cfg iomodel.Config) error {
-	return extsort.New[record.Edge](record.EdgeCodec{}, less, cfg).SortFile(in, out)
+	return SortEdgesContext(context.Background(), in, out, less, cfg)
+}
+
+// SortEdgesContext is SortEdges under a cancellation context: cancelling ctx
+// aborts the sort (including its worker pool) and removes its temporaries.
+func SortEdgesContext(ctx context.Context, in, out string, less func(a, b record.Edge) bool, cfg iomodel.Config) error {
+	return extsort.NewContext[record.Edge](ctx, record.EdgeCodec{}, less, cfg).SortFile(in, out)
 }
 
 // DedupeEdges copies the sorted edge file at in to out, dropping consecutive

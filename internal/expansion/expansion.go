@@ -10,6 +10,8 @@
 package expansion
 
 import (
+	"context"
+
 	"extscc/internal/blockio"
 	"extscc/internal/edgefile"
 	"extscc/internal/extsort"
@@ -43,7 +45,17 @@ type Result struct {
 
 // Expand computes SCC_i from SCC_{i+1}, writing all produced files into dir.
 func Expand(in Input, dir string, cfg iomodel.Config) (Result, error) {
-	e := &expander{in: in, dir: dir, cfg: cfg}
+	return ExpandContext(context.Background(), in, dir, cfg)
+}
+
+// ExpandContext is Expand under a cancellation context: cancelling ctx aborts
+// the step inside its external sorts (including their worker pools) and
+// removes every intermediate file the step created.
+func ExpandContext(ctx context.Context, in Input, dir string, cfg iomodel.Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := &expander{ctx: ctx, in: in, dir: dir, cfg: cfg}
 	res, err := e.run()
 	e.cleanup()
 	if err != nil {
@@ -53,6 +65,7 @@ func Expand(in Input, dir string, cfg iomodel.Config) (Result, error) {
 }
 
 type expander struct {
+	ctx   context.Context
 	in    Input
 	dir   string
 	cfg   iomodel.Config
@@ -132,7 +145,7 @@ func (e *expander) augment(edgePath string, reversedInput bool) (string, error) 
 
 	// Sort by target and keep only edges into removed nodes.
 	byTarget := e.temp("aug-" + suffix + "-by-target")
-	if err := edgefile.SortEdges(edgePath, byTarget, record.EdgeByTarget, e.cfg); err != nil {
+	if err := edgefile.SortEdgesContext(e.ctx, edgePath, byTarget, record.EdgeByTarget, e.cfg); err != nil {
 		return "", err
 	}
 	toRemoved := e.temp("aug-" + suffix + "-to-removed")
@@ -142,7 +155,7 @@ func (e *expander) augment(edgePath string, reversedInput bool) (string, error) 
 
 	// Sort by source and annotate the source with its SCC label.
 	bySource := e.temp("aug-" + suffix + "-by-source")
-	if err := edgefile.SortEdges(toRemoved, bySource, record.EdgeBySource, e.cfg); err != nil {
+	if err := edgefile.SortEdgesContext(e.ctx, toRemoved, bySource, record.EdgeBySource, e.cfg); err != nil {
 		return "", err
 	}
 	annotated := e.temp("aug-" + suffix + "-annotated")
@@ -153,7 +166,7 @@ func (e *expander) augment(edgePath string, reversedInput bool) (string, error) 
 	// Final order: (target, SCC, source), so the SCC sets of each removed
 	// node are grouped and sorted for a linear intersection.
 	out := e.temp("aug-" + suffix)
-	sorter := extsort.New[record.EdgeSCC](record.EdgeSCCCodec{}, record.EdgeSCCByTargetSCC, e.cfg)
+	sorter := extsort.NewContext[record.EdgeSCC](e.ctx, record.EdgeSCCCodec{}, record.EdgeSCCByTargetSCC, e.cfg)
 	if err := sorter.SortFile(annotated, out); err != nil {
 		return "", err
 	}

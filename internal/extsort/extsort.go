@@ -3,13 +3,25 @@
 // paper's cost model: run formation uses at most the configured memory budget
 // and the k-way merge fan-in is derived from M/B, so the number of merge
 // passes matches Theta(log_{M/B}(m/B)).
+//
+// With cfg.Workers > 1 the sorter parallelises the CPU-bound work without
+// changing the accounted I/O: run boundaries are identical at every worker
+// count (each run still holds runCapacity() records of the input, in input
+// order), each run is sorted by concurrently sorting contiguous chunks and
+// stably merging them while writing (so the output file is byte-for-byte the
+// file the sequential sorter writes), the next batch is read while the
+// current one is sorted and written, and independent run groups of a merge
+// pass are merged concurrently.  Every Stats counter therefore matches the
+// sequential run exactly; only the wall-clock changes.
 package extsort
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"extscc/internal/blockio"
 	"extscc/internal/iomodel"
@@ -17,28 +29,62 @@ import (
 	"extscc/internal/record"
 )
 
+// checkEvery is how many records the per-record loops process between two
+// cancellation checks.
+const checkEvery = 8192
+
 // Sorter sorts record files of type T under a fixed comparator.
 type Sorter[T any] struct {
 	codec record.Codec[T]
 	less  func(a, b T) bool
 	cfg   iomodel.Config
+	ctx   context.Context
 }
 
 // New returns a Sorter for records of type T ordered by less, operating under
-// the memory budget and block size of cfg.
+// the memory budget, block size and worker count of cfg.
 func New[T any](codec record.Codec[T], less func(a, b T) bool, cfg iomodel.Config) *Sorter[T] {
-	return &Sorter[T]{codec: codec, less: less, cfg: cfg}
+	return NewContext(context.Background(), codec, less, cfg)
+}
+
+// NewContext is New with a cancellation context: cancelling ctx aborts a
+// running sort between batches, merge groups and record chunks; every worker
+// drains and every temporary file the sort created is removed.
+func NewContext[T any](ctx context.Context, codec record.Codec[T], less func(a, b T) bool, cfg iomodel.Config) *Sorter[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Sorter[T]{codec: codec, less: less, cfg: cfg, ctx: ctx}
+}
+
+func (s *Sorter[T]) ctxErr() error { return s.ctx.Err() }
+
+// workers returns the effective worker count of the sorter.
+func (s *Sorter[T]) workers() int { return s.cfg.WorkerCount() }
+
+// blockSize returns the effective block size of the sorter.
+func (s *Sorter[T]) blockSize() int {
+	if s.cfg.BlockSize > 0 {
+		return s.cfg.BlockSize
+	}
+	return iomodel.DefaultBlockSize
 }
 
 // runCapacity returns the number of records sorted in memory per run.  Half
 // of the memory budget is reserved for the record slice; the remainder covers
-// block buffers and bookkeeping.
-func (s *Sorter[T]) runCapacity() int {
+// block buffers and bookkeeping.  A budget too small to hold a record slice
+// next to two block buffers (M < 2*B, the Aggarwal–Vitter minimum) is
+// rejected: sorting under it would thrash one-block runs instead of making
+// progress.
+func (s *Sorter[T]) runCapacity() (int, error) {
+	if bs := int64(s.blockSize()); s.cfg.Memory < 2*bs {
+		return 0, fmt.Errorf("extsort: memory budget %d bytes cannot hold a sort buffer alongside two %d-byte block buffers (the I/O model requires M >= 2*B); raise Memory or shrink BlockSize", s.cfg.Memory, bs)
+	}
 	capRecords := int(s.cfg.Memory / 2 / int64(s.codec.Size()))
 	if capRecords < 4 {
 		capRecords = 4
 	}
-	return capRecords
+	return capRecords, nil
 }
 
 // SortFile sorts the record file at inPath into a new file at outPath.
@@ -73,9 +119,18 @@ func (s *Sorter[T]) SortSlice(recs []T) {
 }
 
 // formRuns splits the input stream into sorted runs, each at most
-// runCapacity() records, and writes every run to a temporary file.
+// runCapacity() records, and writes every run to a temporary file.  The run
+// boundaries depend only on the input order and the memory budget — never on
+// the worker count — so the parallel and sequential modes produce identical
+// run files.
 func (s *Sorter[T]) formRuns(in recio.Iterator[T]) ([]string, error) {
-	capRecords := s.runCapacity()
+	capRecords, err := s.runCapacity()
+	if err != nil {
+		return nil, err
+	}
+	if s.workers() > 1 {
+		return s.formRunsParallel(in, capRecords)
+	}
 	var runs []string
 	buf := make([]T, 0, capRecords)
 	flush := func() error {
@@ -85,6 +140,7 @@ func (s *Sorter[T]) formRuns(in recio.Iterator[T]) ([]string, error) {
 		s.SortSlice(buf)
 		path := blockio.TempFile(s.cfg.TempDir, "extsort-run", s.cfg.Stats)
 		if err := recio.WriteSlice(path, s.codec, s.cfg, buf); err != nil {
+			blockio.Remove(path)
 			return err
 		}
 		s.cfg.Stats.CountSortRun(int64(len(buf)))
@@ -92,6 +148,7 @@ func (s *Sorter[T]) formRuns(in recio.Iterator[T]) ([]string, error) {
 		buf = buf[:0]
 		return nil
 	}
+	scanned := 0
 	for {
 		rec, ok, err := in.Next()
 		if err != nil {
@@ -99,6 +156,11 @@ func (s *Sorter[T]) formRuns(in recio.Iterator[T]) ([]string, error) {
 		}
 		if !ok {
 			break
+		}
+		if scanned++; scanned%checkEvery == 0 {
+			if err := s.ctxErr(); err != nil {
+				return runs, err
+			}
 		}
 		buf = append(buf, rec)
 		if len(buf) == capRecords {
@@ -113,8 +175,172 @@ func (s *Sorter[T]) formRuns(in recio.Iterator[T]) ([]string, error) {
 	return runs, nil
 }
 
+// formRunsParallel pipelines run formation: the calling goroutine keeps
+// reading the input into the next batch while a background goroutine sorts
+// and writes the previous one.  Two record batches circulate, so run
+// formation holds at most the full memory budget (2 × M/2) at any moment.
+// Batches are handed over in input order and written by a single goroutine,
+// so the produced run files — paths aside — are the sequential ones.
+func (s *Sorter[T]) formRunsParallel(in recio.Iterator[T], capRecords int) ([]string, error) {
+	free := make(chan []T, 2)
+	free <- make([]T, 0, capRecords)
+	free <- make([]T, 0, capRecords)
+	batches := make(chan []T)
+
+	var (
+		runs     []string
+		writeErr error
+		failed   = make(chan struct{})
+		done     = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		for buf := range batches {
+			if writeErr == nil {
+				path, err := s.writeRun(buf)
+				if err != nil {
+					writeErr = err
+					close(failed)
+				} else {
+					runs = append(runs, path)
+				}
+			}
+			free <- buf[:0]
+		}
+	}()
+
+	var readErr error
+	buf := <-free
+	scanned := 0
+read:
+	for {
+		rec, ok, err := in.Next()
+		if err != nil {
+			readErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		if scanned++; scanned%checkEvery == 0 {
+			if err := s.ctxErr(); err != nil {
+				readErr = err
+				break
+			}
+			select {
+			case <-failed:
+				break read
+			default:
+			}
+		}
+		buf = append(buf, rec)
+		if len(buf) == capRecords {
+			batches <- buf
+			buf = <-free
+		}
+	}
+	if readErr == nil && len(buf) > 0 {
+		batches <- buf
+	}
+	close(batches)
+	<-done
+	if readErr != nil {
+		return runs, readErr
+	}
+	return runs, writeErr
+}
+
+// writeRun sorts one batch and writes it as a run file.  The batch is split
+// into one contiguous chunk per worker; the chunks are stable-sorted
+// concurrently and then merged — stably, ties resolved towards the earlier
+// chunk — straight into the run writer.  A stable merge of stably sorted
+// contiguous chunks reproduces exactly the stable sort of the whole batch,
+// so the run file is byte-identical to the sequential sorter's.
+func (s *Sorter[T]) writeRun(buf []T) (string, error) {
+	if err := s.ctxErr(); err != nil {
+		return "", err
+	}
+	chunks := s.sortChunks(buf)
+	path := blockio.TempFile(s.cfg.TempDir, "extsort-run", s.cfg.Stats)
+	w, err := recio.NewWriter(path, s.codec, s.cfg)
+	if err != nil {
+		return "", err
+	}
+	idx := make([]int, len(chunks))
+	written := 0
+	for {
+		best := -1
+		for ci := range chunks {
+			if idx[ci] >= len(chunks[ci]) {
+				continue
+			}
+			if best == -1 || s.less(chunks[ci][idx[ci]], chunks[best][idx[best]]) {
+				best = ci
+			}
+		}
+		if best == -1 {
+			break
+		}
+		if written++; written%checkEvery == 0 {
+			if err := s.ctxErr(); err != nil {
+				w.Close()
+				blockio.Remove(path)
+				return "", err
+			}
+		}
+		if err := w.Write(chunks[best][idx[best]]); err != nil {
+			w.Close()
+			blockio.Remove(path)
+			return "", err
+		}
+		idx[best]++
+	}
+	if err := w.Close(); err != nil {
+		blockio.Remove(path)
+		return "", err
+	}
+	s.cfg.Stats.CountSortRun(int64(len(buf)))
+	return path, nil
+}
+
+// sortChunks splits buf into up to workers() contiguous chunks and
+// stable-sorts them concurrently.
+func (s *Sorter[T]) sortChunks(buf []T) [][]T {
+	w := s.workers()
+	if w > len(buf) {
+		w = len(buf)
+	}
+	if w <= 1 {
+		s.SortSlice(buf)
+		return [][]T{buf}
+	}
+	chunks := make([][]T, 0, w)
+	per := (len(buf) + w - 1) / w
+	for start := 0; start < len(buf); start += per {
+		end := start + per
+		if end > len(buf) {
+			end = len(buf)
+		}
+		chunks = append(chunks, buf[start:end])
+	}
+	var wg sync.WaitGroup
+	for _, c := range chunks {
+		wg.Add(1)
+		go func(c []T) {
+			defer wg.Done()
+			s.SortSlice(c)
+		}(c)
+	}
+	wg.Wait()
+	return chunks
+}
+
 // mergeRuns repeatedly merges groups of at most SortFanIn() runs until a
-// single sorted file remains, then renames/copies it to outPath.
+// single sorted file remains, then renames/copies it to outPath.  When the
+// sorter has more than one worker, the independent groups of one pass are
+// merged concurrently; the pass structure (and therefore every I/O count) is
+// the sequential one.  On error every intermediate file the merge created is
+// removed, including a partially written outPath.
 func (s *Sorter[T]) mergeRuns(runs []string, outPath string) error {
 	if len(runs) == 0 {
 		// An empty input still produces an (empty) output file.
@@ -128,39 +354,118 @@ func (s *Sorter[T]) mergeRuns(runs []string, outPath string) error {
 	if fanIn < 2 {
 		fanIn = 2
 	}
+	// Every path created below is collected so one error path can remove the
+	// whole in-flight state; Remove ignores files already consumed.
+	var created []string
+	fail := func(err error) error {
+		removeAll(created)
+		blockio.Remove(outPath)
+		return err
+	}
 	current := runs
 	for len(current) > 1 {
+		if err := s.ctxErr(); err != nil {
+			return fail(err)
+		}
 		s.cfg.Stats.CountMergePass()
-		var next []string
-		for start := 0; start < len(current); start += fanIn {
-			end := start + fanIn
-			if end > len(current) {
-				end = len(current)
-			}
-			group := current[start:end]
-			var target string
-			if len(current) <= fanIn {
-				target = outPath
+		numGroups := (len(current) + fanIn - 1) / fanIn
+		next := make([]string, numGroups)
+		for gi := range next {
+			if numGroups == 1 {
+				next[gi] = outPath
 			} else {
-				target = blockio.TempFile(s.cfg.TempDir, "extsort-merge", s.cfg.Stats)
+				next[gi] = blockio.TempFile(s.cfg.TempDir, "extsort-merge", s.cfg.Stats)
+				created = append(created, next[gi])
 			}
-			if err := s.mergeGroup(group, target); err != nil {
-				removeAll(next)
-				return err
-			}
-			removeAll(group)
-			next = append(next, target)
+		}
+		if err := s.mergePass(current, next, fanIn); err != nil {
+			return fail(err)
 		}
 		current = next
 	}
 	if current[0] != outPath {
 		// Single run: stream-copy it to the destination (charged as one scan).
 		if err := s.copyFile(current[0], outPath); err != nil {
-			return err
+			return fail(err)
 		}
 		removeAll(current)
 	}
 	return nil
+}
+
+// mergePass merges current[gi*fanIn:(gi+1)*fanIn] into next[gi] for every
+// group, with up to workers() groups in flight, and removes each consumed
+// group.  Note: each in-flight group buffers fanIn+1 blocks, so a pass with
+// multiple workers and multiple groups transiently holds up to
+// min(workers, groups) × M bytes of block buffers; WithWorkers(1) restores
+// the strict budget.
+func (s *Sorter[T]) mergePass(current, next []string, fanIn int) error {
+	group := func(gi int) []string {
+		start := gi * fanIn
+		end := start + fanIn
+		if end > len(current) {
+			end = len(current)
+		}
+		return current[start:end]
+	}
+	par := s.workers()
+	if par > len(next) {
+		par = len(next)
+	}
+	if par <= 1 {
+		for gi := range next {
+			if err := s.ctxErr(); err != nil {
+				return err
+			}
+			g := group(gi)
+			if err := s.mergeGroup(g, next[gi]); err != nil {
+				return err
+			}
+			removeAll(g)
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	bail := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	sem := make(chan struct{}, par)
+	for gi := range next {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if bail() {
+				return
+			}
+			if err := s.ctxErr(); err != nil {
+				setErr(err)
+				return
+			}
+			g := group(gi)
+			if err := s.mergeGroup(g, next[gi]); err != nil {
+				setErr(err)
+				return
+			}
+			removeAll(g)
+		}(gi)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // mergeItem is one heap entry of the k-way merge.
@@ -219,8 +524,15 @@ func (s *Sorter[T]) mergeGroup(group []string, target string) error {
 	if err != nil {
 		return err
 	}
+	written := 0
 	for h.Len() > 0 {
 		top := h.peek()
+		if written++; written%checkEvery == 0 {
+			if err := s.ctxErr(); err != nil {
+				w.Close()
+				return err
+			}
+		}
 		if err := w.Write(top.rec); err != nil {
 			w.Close()
 			return err

@@ -1,9 +1,15 @@
 package extsort
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -282,5 +288,180 @@ func TestSortChargesIO(t *testing.T) {
 	// far below total I/Os.
 	if delta.RandomIOs() > delta.TotalIOs()/2 {
 		t.Fatalf("sort performed too many random I/Os: %+v", delta)
+	}
+}
+
+// testConfigWorkers is testConfig with a worker count.
+func testConfigWorkers(t *testing.T, memory int64, workers int) iomodel.Config {
+	t.Helper()
+	cfg := testConfig(t, memory)
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestParallelSortByteIdenticalAndSameIO is the determinism contract of the
+// parallel sorter: at every worker count the output file is byte-for-byte the
+// sequential one and every accounted I/O counter matches exactly.
+func TestParallelSortByteIdenticalAndSameIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	edges := randomEdges(5000, rng) // tiny budget below => many runs, multi-pass merge
+
+	type outcome struct {
+		bytes []byte
+		delta iomodel.Snapshot
+	}
+	runWith := func(workers int) outcome {
+		cfg := testConfigWorkers(t, 256, workers)
+		dir := t.TempDir()
+		in := filepath.Join(dir, "in.bin")
+		out := filepath.Join(dir, "out.bin")
+		if err := recio.WriteSlice(in, record.EdgeCodec{}, cfg, edges); err != nil {
+			t.Fatal(err)
+		}
+		before := cfg.Stats.Snapshot()
+		s := New[record.Edge](record.EdgeCodec{}, record.EdgeBySource, cfg)
+		if err := s.SortFile(in, out); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{bytes: data, delta: cfg.Stats.Snapshot().Sub(before)}
+	}
+
+	seq := runWith(1)
+	if seq.delta.MergePasses < 2 {
+		t.Fatalf("workload too small to exercise multi-pass merging: %d passes", seq.delta.MergePasses)
+	}
+	for _, workers := range []int{2, 3, 4, 7} {
+		par := runWith(workers)
+		if !bytes.Equal(par.bytes, seq.bytes) {
+			t.Errorf("workers=%d: output differs from the sequential sorter", workers)
+		}
+		if par.delta != seq.delta {
+			t.Errorf("workers=%d: I/O accounting differs from sequential:\n  seq: %+v\n  par: %+v", workers, seq.delta, par.delta)
+		}
+	}
+}
+
+// TestTinyMemoryBudgetError is the regression test for pathological budgets:
+// a memory budget below two blocks must be rejected with a clear error
+// instead of thrashing one-block runs.
+func TestTinyMemoryBudgetError(t *testing.T) {
+	for _, memory := range []int64{0, 1, 64, 127} {
+		cfg := testConfig(t, memory) // BlockSize 64 => needs >= 128
+		dir := t.TempDir()
+		cfg.TempDir = dir
+		in := filepath.Join(t.TempDir(), "in.bin")
+		out := filepath.Join(t.TempDir(), "out.bin")
+		if err := recio.WriteSlice(in, record.EdgeCodec{}, cfg, randomEdges(64, rand.New(rand.NewSource(6)))); err != nil {
+			t.Fatal(err)
+		}
+		s := New[record.Edge](record.EdgeCodec{}, record.EdgeBySource, cfg)
+		err := s.SortFile(in, out)
+		if err == nil {
+			t.Fatalf("memory=%d: expected an error for a sub-2-block budget", memory)
+		}
+		if !strings.Contains(err.Error(), "memory budget") {
+			t.Fatalf("memory=%d: error should explain the budget problem, got: %v", memory, err)
+		}
+		entries, rerr := os.ReadDir(dir)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if len(entries) != 0 {
+			t.Fatalf("memory=%d: rejected sort left temp files: %v", memory, entries)
+		}
+	}
+}
+
+// cancelAfterCalls is a deterministic context: Err returns context.Canceled
+// from the n-th call on.  It lets tests land a cancellation at a chosen
+// checkpoint (e.g. mid-merge) without racing a timer.
+type cancelAfterCalls struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *cancelAfterCalls) Err() error {
+	if c.calls.Add(1) >= c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestParallelSortCancellationMidMerge cancels a multi-worker sort while its
+// merge pool is running and verifies every worker drains and every temporary
+// file (runs, merge intermediates, the partial output) is removed.
+func TestParallelSortCancellationMidMerge(t *testing.T) {
+	cfg := testConfigWorkers(t, 256, 4)
+	tempDir := t.TempDir()
+	cfg.TempDir = tempDir
+	rng := rand.New(rand.NewSource(12))
+	edges := randomEdges(5000, rng) // ~313 runs at 16 records/run
+	ioDir := t.TempDir()
+	in := filepath.Join(ioDir, "in.bin")
+	out := filepath.Join(ioDir, "out.bin")
+	if err := recio.WriteSlice(in, record.EdgeCodec{}, cfg, edges); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run formation performs one Err check per run (~313); cancelling a few
+	// hundred checks later lands inside the merge phase.
+	ctx := &cancelAfterCalls{Context: context.Background(), after: 330}
+	s := NewContext[record.Edge](ctx, record.EdgeCodec{}, record.EdgeBySource, cfg)
+	err := s.SortFile(in, out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	entries, rerr := os.ReadDir(tempDir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 0 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("cancelled sort left %d temp files: %v", len(names), names)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("cancelled sort left a partial output file (stat err: %v)", err)
+	}
+}
+
+// TestParallelSortCancellationDuringRunFormation cancels while batches are
+// still being formed.
+func TestParallelSortCancellationDuringRunFormation(t *testing.T) {
+	cfg := testConfigWorkers(t, 256, 4)
+	tempDir := t.TempDir()
+	cfg.TempDir = tempDir
+	rng := rand.New(rand.NewSource(13))
+	edges := randomEdges(4000, rng)
+	ioDir := t.TempDir()
+	in := filepath.Join(ioDir, "in.bin")
+	out := filepath.Join(ioDir, "out.bin")
+	if err := recio.WriteSlice(in, record.EdgeCodec{}, cfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &cancelAfterCalls{Context: context.Background(), after: 20}
+	s := NewContext[record.Edge](ctx, record.EdgeCodec{}, record.EdgeBySource, cfg)
+	if err := s.SortFile(in, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if entries, _ := os.ReadDir(tempDir); len(entries) != 0 {
+		t.Fatalf("cancelled run formation left %d temp files", len(entries))
+	}
+}
+
+// TestParallelSortEmptyAndTinyInputs exercises the parallel path's edge
+// cases: empty input, fewer records than workers, exactly one batch.
+func TestParallelSortEmptyAndTinyInputs(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 16, 17} {
+		cfg := testConfigWorkers(t, 256, 4)
+		rng := rand.New(rand.NewSource(int64(20 + n)))
+		sortAndVerify(t, cfg, randomEdges(n, rng))
 	}
 }

@@ -49,6 +49,15 @@ type Config struct {
 	// contraction iterations without shrinking sort buffers to a handful of
 	// records.
 	NodeBudget int64
+	// Workers is the number of concurrent workers available to the external
+	// operators: run formation and run merging in the external sort, and the
+	// overlapped (prefetching / write-behind) block I/O.  0 and 1 both mean
+	// fully sequential execution, which is byte-for-byte identical to the
+	// historical single-threaded behaviour.  Parallel execution never changes
+	// the accounted I/O: run boundaries and merge structure are independent
+	// of the worker count, so every Stats counter matches the sequential run
+	// exactly (see package extsort).
+	Workers int
 	// Stats receives the I/O counts of every operation performed under this
 	// configuration.  If nil, a private Stats is allocated by Validate.
 	Stats *Stats
@@ -77,10 +86,21 @@ func (c Config) Validate() (Config, error) {
 	if c.Memory < int64(2*c.BlockSize) {
 		return c, fmt.Errorf("iomodel: memory %d violates M >= 2*B with B=%d", c.Memory, c.BlockSize)
 	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("iomodel: negative worker count %d", c.Workers)
+	}
 	if c.Stats == nil {
 		c.Stats = &Stats{}
 	}
 	return c, nil
+}
+
+// WorkerCount returns the effective worker count: at least 1.
+func (c Config) WorkerCount() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 // NodeCapacity returns the number of graph nodes whose per-node state fits in

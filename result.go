@@ -25,6 +25,9 @@ type Stats struct {
 	// ContractionIterations is the number of contraction steps performed
 	// (0 for algorithms that do not contract).
 	ContractionIterations int
+	// Workers is the worker count the run executed with (see WithWorkers).
+	// It never affects the I/O counters above, only Duration.
+	Workers int
 	// Duration is the wall-clock time of the computation.
 	Duration time.Duration
 }
