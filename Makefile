@@ -15,9 +15,11 @@ test:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Mirrors the `race` job: the WithWorkers pools under the race detector.
+# Mirrors the `race` job: the WithWorkers pools and the in-memory storage
+# backend under the race detector, once per backend.
 race:
-	$(GO) test -race -short ./...
+	EXTSCC_STORAGE=os $(GO) test -race -short ./...
+	EXTSCC_STORAGE=mem $(GO) test -race -short ./...
 
 # Mirrors the `lint` job.  staticcheck is skipped when not installed so the
 # target works offline; CI always runs it.
@@ -39,6 +41,7 @@ bench:
 	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-workers -workers 0 \
 		-json BENCH_quick.json -csv BENCH_quick.csv \
 		-baseline bench/baseline.json -tolerance 0.25
+	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-storage -workers 1
 
 # Refresh the committed baseline after an intentional I/O-count change;
 # commit the resulting bench/baseline.json.

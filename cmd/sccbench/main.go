@@ -13,9 +13,13 @@
 // -compare-workers runs every experiment twice — sequential (workers=1) and
 // parallel (the -workers count, defaulting to all CPUs) — and fails unless
 // both runs agree on every SCC count and every accounted I/O count; it then
-// reports the wall-clock speedup.  -json writes all measurements as a JSON
-// report; -baseline gates the sequential measurements against a committed
-// report and exits non-zero on a regression beyond -tolerance.
+// reports the wall-clock speedup.  -compare-storage does the same across
+// storage backends: it runs the experiment on the OS backend and on the
+// in-memory backend and fails unless both agree on every SCC count and
+// every accounted I/O count (the mem ≡ os equivalence guarantee).  -json
+// writes all measurements as a JSON report; -baseline gates the sequential
+// OS-backend measurements against a committed report and exits non-zero on
+// a regression beyond -tolerance.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"time"
 
 	"extscc/internal/bench"
+	"extscc/internal/storage"
 )
 
 func main() {
@@ -40,6 +45,8 @@ func main() {
 	csvPath := flag.String("csv", "", "also write measurements as CSV to this file")
 	workers := flag.Int("workers", 1, "worker count for the parallel sorter and overlapped I/O (0 = all CPUs)")
 	compareWorkers := flag.Bool("compare-workers", false, "run sequentially and with -workers workers, verify identical SCCs and I/O counts, report the speedup")
+	storageName := flag.String("storage", "", "storage backend for graphs and intermediates: os (default) or mem (fully in RAM)")
+	compareStorage := flag.Bool("compare-storage", false, "run on the os and mem backends, verify identical SCCs and I/O counts, report the speedup")
 	jsonPath := flag.String("json", "", "write measurements as a JSON report to this file")
 	baselinePath := flag.String("baseline", "", "gate the workers=1 measurements against this committed JSON report")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional I/O regression against -baseline")
@@ -48,13 +55,31 @@ func main() {
 	if *compareWorkers && *workers == 1 {
 		log.Fatal("-compare-workers needs a parallel worker count: pass -workers 0 (all CPUs) or -workers N with N > 1")
 	}
+	if *compareStorage && *storageName != "" {
+		log.Fatal("-compare-storage runs on both backends; do not combine it with -storage")
+	}
+	if *compareStorage && *compareWorkers {
+		log.Fatal("-compare-workers and -compare-storage are separate gates; run them as two invocations")
+	}
+	backend, err := storage.ByName(*storageName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *baselinePath != "" && !*compareStorage && backend.Name() != "os" {
+		// Committed baselines are recorded on the OS backend's keys; a
+		// non-OS run would report every baseline point as missing even
+		// though the accounted I/O counts are identical (mem ≡ os).
+		log.Fatalf("-baseline gates the os-backend measurements; rerun without -storage=%s (the I/O counts are identical across backends)", backend.Name())
+	}
 	resolvedWorkers := *workers
 	if resolvedWorkers < 1 {
-		resolvedWorkers = runtime.NumCPU()
+		// Match the engine's own WithWorkers(0) resolution: GOMAXPROCS
+		// respects CPU quotas, NumCPU would oversubscribe in containers.
+		resolvedWorkers = runtime.GOMAXPROCS(0)
 	}
 
-	runOnce := func(w int) ([]bench.Measurement, error) {
-		cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: w}
+	runOnce := func(w int, b storage.Backend) ([]bench.Measurement, error) {
+		cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: w, Storage: b}
 		if *experiment == "all" {
 			return bench.RunAll(cfg)
 		}
@@ -67,13 +92,13 @@ func main() {
 	var gateFailures []string
 	var ms []bench.Measurement
 	if *compareWorkers {
-		seq, err := runOnce(1)
+		seq, err := runOnce(1, backend)
 		if err != nil {
 			log.Fatal(err)
 		}
 		ms = seq
 		if resolvedWorkers > 1 {
-			par, err := runOnce(resolvedWorkers)
+			par, err := runOnce(resolvedWorkers, backend)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -96,9 +121,34 @@ func main() {
 		} else {
 			fmt.Println("worker comparison: only one CPU available, parallel run skipped")
 		}
+	} else if *compareStorage {
+		osMs, err := runOnce(resolvedWorkers, storage.OS())
+		if err != nil {
+			log.Fatal(err)
+		}
+		memMs, err := runOnce(resolvedWorkers, storage.NewMem())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms = append(osMs, memMs...)
+		if violations := bench.VerifyStorageEquivalence(ms); len(violations) > 0 {
+			for _, v := range violations {
+				log.Printf("storage-equivalence violation: %s", v)
+			}
+			gateFailures = append(gateFailures,
+				fmt.Sprintf("storage=os and storage=mem disagree on %d measurement(s)", len(violations)))
+		} else {
+			osTotal, memTotal := totalDuration(osMs), totalDuration(memMs)
+			speedup := "n/a"
+			if memTotal > 0 {
+				speedup = fmt.Sprintf("%.2fx", float64(osTotal)/float64(memTotal))
+			}
+			fmt.Printf("storage comparison: os took %s, mem took %s (speedup %s); SCCs and I/O counts identical\n",
+				osTotal.Round(time.Millisecond), memTotal.Round(time.Millisecond), speedup)
+		}
 	} else {
 		var err error
-		ms, err = runOnce(resolvedWorkers)
+		ms, err = runOnce(resolvedWorkers, backend)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -120,7 +170,7 @@ func main() {
 		fmt.Printf("CSV written to %s\n", *csvPath)
 	}
 
-	cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: resolvedWorkers}
+	cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: resolvedWorkers, Storage: backend}
 	report := bench.NewReport(*experiment, cfg, ms)
 	if *jsonPath != "" {
 		if err := report.WriteFile(*jsonPath); err != nil {

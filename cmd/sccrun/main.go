@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path"
 	"time"
 
 	"extscc"
 	"extscc/internal/iomodel"
+	"extscc/internal/storage"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 	nodeBudget := flag.Int64("node-budget", 0, "override the semi-external node capacity")
 	workers := flag.Int("workers", 0, "worker count for the parallel sorter and overlapped I/O (0 = all CPUs, 1 = sequential)")
 	tempDir := flag.String("tmp", os.TempDir(), "directory for intermediate files")
+	storageName := flag.String("storage", "", "storage backend: os (default; local disk) or mem (diskless: the input is staged into RAM, all intermediates live in RAM, -out copies the labels back to disk)")
 	maxDur := flag.Duration("max-duration", 0, "abort after this duration (0 = unlimited)")
 	maxIOs := flag.Int64("max-ios", 0, "abort after this many block I/Os, for algorithms that support the cap (0 = unlimited)")
 	flag.Parse()
@@ -49,6 +52,24 @@ func main() {
 	if *in == "" {
 		log.Fatal("-in is required")
 	}
+	backend, err := storage.ByName(*storageName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A diskless run still reads its input from the local filesystem: the
+	// edge file is staged into the in-memory store up front, outside the
+	// accounted I/O (crossing the storage boundary is not part of any
+	// algorithm's cost).
+	input := *in
+	if backend.Name() != "os" {
+		staged := path.Join(backend.TempPath(), "sccrun-input.edges")
+		if err := storage.Copy(backend, staged, storage.OS(), *in); err != nil {
+			log.Fatalf("stage %s into the %s backend: %v", *in, backend.Name(), err)
+		}
+		defer backend.Remove(staged)
+		input = staged
+	}
 
 	eng, err := extscc.New(
 		extscc.WithAlgorithm(*algo),
@@ -57,6 +78,7 @@ func main() {
 		extscc.WithNodeBudget(*nodeBudget),
 		extscc.WithWorkers(*workers),
 		extscc.WithTempDir(*tempDir),
+		extscc.WithStorage(backend),
 		extscc.WithMaxIOs(*maxIOs),
 		extscc.WithProgress(func(p extscc.Progress) {
 			fmt.Printf("  iteration %d: |V|=%d |E|=%d removed=%d preserved=%d added=%d\n",
@@ -74,7 +96,7 @@ func main() {
 		defer cancel()
 	}
 
-	res, err := eng.Run(ctx, extscc.FileSource(*in))
+	res, err := eng.Run(ctx, extscc.FileSource(input))
 	switch {
 	case errors.Is(err, extscc.ErrDidNotConverge):
 		log.Fatalf("%s: %v", *algo, err)
@@ -89,13 +111,21 @@ func main() {
 	if res.Stats.ContractionIterations > 0 {
 		fmt.Printf("contraction iterations: %d\n", res.Stats.ContractionIterations)
 	}
-	fmt.Printf("SCCs: %d\ntime: %s (%d workers)\nI/Os: %d (random %d)\nbytes: read %d, written %d\n",
-		res.NumSCCs, res.Stats.Duration.Round(time.Millisecond), res.Stats.Workers,
+	fmt.Printf("SCCs: %d\ntime: %s (%d workers, %s storage)\nI/Os: %d (random %d)\nbytes: read %d, written %d\n",
+		res.NumSCCs, res.Stats.Duration.Round(time.Millisecond), res.Stats.Workers, res.Stats.Storage,
 		res.Stats.TotalIOs, res.Stats.RandomIOs, res.Stats.BytesRead, res.Stats.BytesWritten)
 
 	if *out != "" {
-		if err := res.ExportLabels(*out); err != nil {
-			log.Fatal(err)
+		if backend.Name() == "os" {
+			if err := res.ExportLabels(*out); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			// The label file lives in the in-memory store; copy the bytes
+			// back onto the local filesystem.
+			if err := storage.Copy(storage.OS(), *out, backend, res.LabelPath); err != nil {
+				log.Fatal(err)
+			}
 		}
 		fmt.Printf("labels written to %s\n", *out)
 	}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
@@ -12,6 +11,7 @@ import (
 	"extscc/internal/iomodel"
 	"extscc/internal/recio"
 	"extscc/internal/record"
+	"extscc/internal/storage"
 )
 
 // Engine runs a registered SCC algorithm over any Source under a fixed I/O
@@ -103,13 +103,59 @@ func WithMaxIOs(n int64) Option {
 // behaviour.  The labelling, the number of SCCs, and every accounted I/O
 // count are identical at every worker count — run boundaries and merge
 // structure are derived from the memory budget only — so the paper's I/O
-// model is unaffected; only the wall-clock changes.
+// model is unaffected; only the wall-clock changes.  One memory caveat: a
+// multi-pass merge with k independent groups in flight transiently buffers
+// up to min(n, k) × M of block buffers; WithWorkers(1) restores the strict
+// M budget (see the README's WithWorkers footnote).
 func WithWorkers(n int) Option {
 	return func(e *Engine) error {
 		if n < 0 {
 			return fmt.Errorf("extscc: WithWorkers(%d): worker count cannot be negative", n)
 		}
 		e.base.Workers = n
+		return nil
+	}
+}
+
+// Storage selects where every file of a run lives: the staged input, all
+// intermediates, and the result label file.  The two built-in backends are
+// OSStorage (local disk, the default) and MemStorage (an in-RAM block
+// store); both carry the identical I/O accounting, because the engine
+// charges block transfers above the storage layer.  Storage is an alias of
+// the internal backend interface so that in-module tools and examples can
+// implement custom backends.
+type Storage = storage.Backend
+
+// StorageFile is the file handle a Storage backend serves.
+type StorageFile = storage.File
+
+// OSStorage returns the local-filesystem backend: the historical behaviour,
+// byte-identical to the engine before storage became pluggable.
+func OSStorage() Storage { return storage.OS() }
+
+// MemStorage returns a fresh, empty in-memory backend.  A run against it
+// touches no disk at all — sources stage into RAM, every sort and scan runs
+// against RAM, and the Result's label file lives in RAM (ExportLabels
+// exports within the same store) — while Result.Stats reports exactly the
+// block I/Os the same run would perform on disk.  Keep a reference to the
+// returned backend to read files back out of it.
+func MemStorage() Storage { return storage.NewMem() }
+
+// WithStorage selects the storage backend of every run of the engine.  The
+// default is the OS backend unless the EXTSCC_STORAGE environment variable
+// says otherwise ("mem" switches the whole process to one shared in-memory
+// store, which is how CI runs the test suite once per backend).
+//
+// The backend never changes the computation or its accounted cost: for any
+// fixed workload and configuration, MemStorage and OSStorage produce
+// identical SCC labellings and identical I/O counters at every worker
+// count.
+func WithStorage(b Storage) Option {
+	return func(e *Engine) error {
+		if b == nil {
+			return errors.New("extscc: WithStorage(nil)")
+		}
+		e.base.Storage = b
 		return nil
 	}
 }
@@ -147,6 +193,7 @@ func New(opts ...Option) (*Engine, error) {
 		NodeBudget: e.base.NodeBudget,
 		TempDir:    e.base.TempDir,
 		Workers:    e.base.Workers,
+		Storage:    e.base.Storage,
 	}.Validate()
 	if err != nil {
 		return nil, err
@@ -180,11 +227,8 @@ func (e *Engine) Run(ctx context.Context, src Source) (*Result, error) {
 	cfg := e.base
 	cfg.Stats = &iomodel.Stats{}
 
-	parent := cfg.TempDir
-	if parent == "" {
-		parent = os.TempDir()
-	}
-	runDir, err := os.MkdirTemp(parent, "extscc-engine-")
+	backend := cfg.Backend()
+	runDir, err := backend.MkdirTemp(cfg.TempDir, "extscc-engine-")
 	if err != nil {
 		return nil, fmt.Errorf("extscc: create run directory: %w", err)
 	}
@@ -193,7 +237,7 @@ func (e *Engine) Run(ctx context.Context, src Source) (*Result, error) {
 	cfg.TempDir = runDir
 	fail := func(err error) (*Result, error) {
 		if !e.keepTemp {
-			os.RemoveAll(runDir)
+			backend.RemoveAll(runDir)
 		}
 		return nil, err
 	}
@@ -246,11 +290,17 @@ func (e *Engine) Run(ctx context.Context, src Source) (*Result, error) {
 		LabelPath: ares.LabelPath,
 		Stats: Stats{
 			TotalIOs:              delta.TotalIOs(),
+			ReadIOs:               delta.ReadBlocks,
+			WriteIOs:              delta.WriteBlocks,
 			RandomIOs:             delta.RandomIOs(),
+			RandomReads:           delta.RandomReads,
+			RandomWrites:          delta.RandomWrites,
 			BytesRead:             delta.BytesRead,
 			BytesWritten:          delta.BytesWritten,
+			FilesCreated:          delta.FilesCreated,
 			ContractionIterations: ares.Iterations,
 			Workers:               cfg.WorkerCount(),
+			Storage:               cfg.Backend().Name(),
 			Duration:              time.Since(start),
 		},
 		runDir: runDir,

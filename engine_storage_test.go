@@ -1,0 +1,134 @@
+package extscc_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"extscc"
+	"extscc/internal/graphgen"
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+	"extscc/internal/storage"
+)
+
+// mustCfgOn returns a validated default configuration pinned to the given
+// storage backend.
+func mustCfgOn(t *testing.T, b extscc.Storage) iomodel.Config {
+	t.Helper()
+	cfg := iomodel.DefaultConfig()
+	cfg.Storage = b
+	cfg, err := cfg.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestMemStorageFullRun runs the engine fully in RAM and consumes the result
+// through every public path (Stream, Labels, ExportLabels) without the run
+// ever touching the local filesystem.
+func TestMemStorageFullRun(t *testing.T) {
+	mem := storage.NewMem()
+	eng, err := extscc.New(
+		extscc.WithStorage(mem),
+		extscc.WithNodeBudget(20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), extscc.SliceSource(graphgen.Cycle(100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Storage != "mem" {
+		t.Fatalf("Stats.Storage = %q, want \"mem\"", res.Stats.Storage)
+	}
+	if res.NumSCCs != 1 {
+		t.Fatalf("NumSCCs = %d, want 1", res.NumSCCs)
+	}
+	count := 0
+	for range res.Stream() {
+		count++
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("Stream yielded %d labels, want 100", count)
+	}
+
+	// Export within the store, close the run, and read the exported file
+	// back through the backend.
+	out := "/mem/exported.scc"
+	if err := res.ExportLabels(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Close(); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := recio.ReadAll(out, record.LabelCodec{}, mustCfgOn(t, mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 100 {
+		t.Fatalf("exported label file has %d records, want 100", len(labels))
+	}
+	// The exported file is the only survivor of the run.
+	if paths := mem.Paths(); len(paths) != 1 || paths[0] != out {
+		t.Fatalf("store should hold only the exported file, has %v", paths)
+	}
+}
+
+// TestMemStorageCancellationLeavesStoreEmpty mirrors the temp-file-cleanup
+// cancellation tests on the in-memory backend: cancelling mid-contraction
+// must leave the store without a single file.
+func TestMemStorageCancellationLeavesStoreEmpty(t *testing.T) {
+	mem := storage.NewMem()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	iterations := 0
+	eng, err := extscc.New(
+		extscc.WithAlgorithm("ext-scc-op"),
+		extscc.WithNodeBudget(8),
+		extscc.WithStorage(mem),
+		extscc.WithProgress(func(p extscc.Progress) {
+			iterations++
+			cancel()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(ctx, extscc.SliceSource(graphgen.Random(300, 900, 1)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if iterations != 1 {
+		t.Fatalf("run continued for %d contraction iterations after cancellation", iterations)
+	}
+	if paths := mem.Paths(); len(paths) != 0 {
+		t.Fatalf("cancelled run left %d files in the in-memory store: %v", len(paths), paths)
+	}
+}
+
+// TestWithStorageNil rejects a nil backend at construction.
+func TestWithStorageNil(t *testing.T) {
+	if _, err := extscc.New(extscc.WithStorage(nil)); err == nil {
+		t.Fatal("expected an error for WithStorage(nil)")
+	}
+}
+
+// TestFileSourceMissingOnMem keeps the error contract across backends: a
+// FileSource path that does not exist in the selected store fails cleanly.
+func TestFileSourceMissingOnMem(t *testing.T) {
+	eng, err := extscc.New(extscc.WithStorage(storage.NewMem()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), extscc.FileSource(filepath.Join(t.TempDir(), "missing.edges"))); err == nil {
+		t.Fatal("expected an error for a missing edge file")
+	}
+}

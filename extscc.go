@@ -4,7 +4,7 @@
 // I/O Efficient SCCs Computing" (ICDE 2014), together with the baselines the
 // paper compares against.
 //
-// The public surface is an Engine with three pluggable axes:
+// The public surface is an Engine with four pluggable axes:
 //
 //   - Algorithms are registered by name (Register, Algorithms, Lookup);
 //     the built-ins are ext-scc, ext-scc-op, dfs-scc, em-scc and semi-scc.
@@ -12,9 +12,13 @@
 //     SliceSource (in-memory edges), TextSource ("u v" text lines),
 //     GeneratorSource (synthetic workloads) and PreparedSource (pre-staged
 //     files).  Anything that stages an edge file can implement Source.
+//   - Storage selects where every file of a run lives: OSStorage (local
+//     disk, the default) or MemStorage (fully in RAM), chosen with
+//     WithStorage.  The backend never changes the labelling or the
+//     accounted I/O — only where the bytes live.
 //   - Results stream: Result.Stream iterates (node, label) pairs directly
-//     from disk, so consuming the labelling never requires the node set to
-//     fit in memory.
+//     from the backend, so consuming the labelling never requires the node
+//     set to fit in memory.
 //
 // A minimal computation:
 //

@@ -74,7 +74,7 @@ func (s *dfsState) temp(prefix string) string {
 
 func (s *dfsState) cleanup() {
 	for _, p := range s.temps {
-		blockio.Remove(p)
+		blockio.Remove(p, s.cfg)
 	}
 }
 

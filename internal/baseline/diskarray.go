@@ -2,19 +2,21 @@ package baseline
 
 import (
 	"fmt"
-	"os"
 
 	"extscc/internal/blockio"
 	"extscc/internal/iomodel"
+	"extscc/internal/storage"
 )
 
-// diskArray is a fixed-size on-disk byte array accessed through a bounded
-// block cache.  It backs the visited flags and the spilled DFS stack of the
-// external DFS baseline: every cache miss is charged as a random I/O, which
-// is precisely the cost the paper attributes to DFS-based external SCC
-// computation.
+// diskArray is a fixed-size byte array on the run's storage backend,
+// accessed through a bounded block cache.  It backs the visited flags and
+// the spilled DFS stack of the external DFS baseline: every cache miss is
+// charged as a random I/O, which is precisely the cost the paper attributes
+// to DFS-based external SCC computation.  Routing the backing file through
+// the storage layer keeps the baseline's accounting consistent with every
+// other operator — the same counters, against any backend.
 type diskArray struct {
-	f         *os.File
+	f         storage.File
 	path      string
 	size      int64
 	blockSize int
@@ -30,11 +32,11 @@ type cachedBlock struct {
 	dirty bool
 }
 
-// newDiskArray creates a zero-filled on-disk array of size bytes, caching at
-// most cacheBlocks blocks in memory.
+// newDiskArray creates a zero-filled array of size bytes on cfg's storage
+// backend, caching at most cacheBlocks blocks in memory.
 func newDiskArray(dir string, size int64, cacheBlocks int, cfg iomodel.Config) (*diskArray, error) {
 	path := blockio.TempFile(dir, "diskarray", cfg.Stats)
-	f, err := os.Create(path)
+	f, err := cfg.Backend().Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: create disk array: %w", err)
 	}
@@ -142,5 +144,5 @@ func (d *diskArray) setUint32(index int64, v uint32) error {
 // close removes the backing file.
 func (d *diskArray) close() error {
 	d.f.Close()
-	return blockio.Remove(d.path)
+	return blockio.Remove(d.path, d.cfg)
 }

@@ -79,7 +79,7 @@ func EMSCC(ctx context.Context, g edgefile.Graph, dir string, opts EMOptions, cf
 	}
 	defer func() {
 		for _, p := range temps {
-			blockio.Remove(p)
+			blockio.Remove(p, cfg)
 		}
 	}()
 	finish := func(converged bool, labelPath string, numSCCs int64, iters int) *EMResult {

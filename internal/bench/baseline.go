@@ -30,6 +30,7 @@ type ReportEntry struct {
 	X          string `json:"x"`
 	Series     string `json:"series"`
 	Workers    int    `json:"workers"`
+	Storage    string `json:"storage,omitempty"`
 	DurationMS int64  `json:"duration_ms"`
 	TotalIOs   int64  `json:"total_ios"`
 	RandomIOs  int64  `json:"random_ios"`
@@ -40,9 +41,16 @@ type ReportEntry struct {
 }
 
 // key identifies a measurement point; workers is part of the identity so a
-// report can hold the same sweep at several worker counts.
+// report can hold the same sweep at several worker counts.  A non-default
+// storage backend is part of the identity too, while OS-backend entries keep
+// the historical key so committed baselines recorded before storage became
+// pluggable still match.
 func (e ReportEntry) key() string {
-	return fmt.Sprintf("%s|%s|%s|w=%d", e.Experiment, e.X, e.Series, e.Workers)
+	k := fmt.Sprintf("%s|%s|%s|w=%d", e.Experiment, e.X, e.Series, e.Workers)
+	if e.Storage != "" && e.Storage != "os" {
+		k += "|s=" + e.Storage
+	}
+	return k
 }
 
 // NewReport packages measurements as a Report.
@@ -61,6 +69,7 @@ func NewReport(experiment string, c Config, ms []Measurement) Report {
 			X:          m.X,
 			Series:     m.Series,
 			Workers:    m.Workers,
+			Storage:    m.Storage,
 			DurationMS: m.Duration.Milliseconds(),
 			TotalIOs:   m.TotalIOs,
 			RandomIOs:  m.RandomIOs,
@@ -159,40 +168,72 @@ func CompareToBaseline(current, baseline Report, tolerance float64) []string {
 	return violations
 }
 
-// VerifyWorkerEquivalence checks the core guarantee of WithWorkers across a
-// report that holds the same sweep at several worker counts: for every
-// (experiment, x, series) point, all worker counts must agree on the number
-// of SCCs, the INF status, and every accounted I/O count.  It returns one
-// violation string per disagreement.
-func VerifyWorkerEquivalence(ms []Measurement) []string {
+// equivalenceViolations is the shared engine of the two equivalence gates:
+// measurements that agree on pointKey but differ in the compared dimension
+// (dimOf) must agree on the INF status, the number of SCCs, the iteration
+// count, and every accounted I/O count.  The first measurement seen at each
+// point is the reference.
+func equivalenceViolations(ms []Measurement, pointKey func(Measurement) string, dimOf func(Measurement) string) []string {
 	points := map[string]Measurement{}
 	var violations []string
 	for _, m := range ms {
-		k := fmt.Sprintf("%s|%s|%s", m.Experiment, m.X, m.Series)
+		k := pointKey(m)
 		ref, ok := points[k]
 		if !ok {
 			points[k] = m
 			continue
 		}
-		if ref.Workers == m.Workers {
+		if dimOf(ref) == dimOf(m) {
 			continue
 		}
+		pair := func(format string, refVal, mVal any) string {
+			return fmt.Sprintf("%s: "+format, k, dimOf(ref), refVal, dimOf(m), mVal)
+		}
 		if ref.INF != m.INF {
-			violations = append(violations, fmt.Sprintf("%s: INF differs between workers=%d and workers=%d", k, ref.Workers, m.Workers))
+			violations = append(violations, fmt.Sprintf("%s: INF differs between %s and %s", k, dimOf(ref), dimOf(m)))
 			continue
 		}
 		if m.INF {
 			continue
 		}
 		if ref.NumSCCs != m.NumSCCs {
-			violations = append(violations, fmt.Sprintf("%s: SCC count differs between workers=%d (%d) and workers=%d (%d)",
-				k, ref.Workers, ref.NumSCCs, m.Workers, m.NumSCCs))
+			violations = append(violations, pair("SCC count differs between %s (%d) and %s (%d)", ref.NumSCCs, m.NumSCCs))
+		}
+		if ref.Iterations != m.Iterations {
+			violations = append(violations, pair("iteration count differs between %s (%d) and %s (%d)", ref.Iterations, m.Iterations))
 		}
 		if ref.TotalIOs != m.TotalIOs || ref.RandomIOs != m.RandomIOs {
-			violations = append(violations, fmt.Sprintf("%s: I/O counts differ between workers=%d (%d/%d) and workers=%d (%d/%d)",
-				k, ref.Workers, ref.TotalIOs, ref.RandomIOs, m.Workers, m.TotalIOs, m.RandomIOs))
+			violations = append(violations, pair("I/O counts differ between %s (%s) and %s (%s)",
+				fmt.Sprintf("%d/%d", ref.TotalIOs, ref.RandomIOs), fmt.Sprintf("%d/%d", m.TotalIOs, m.RandomIOs)))
 		}
 	}
 	sort.Strings(violations)
 	return violations
+}
+
+// VerifyStorageEquivalence checks the cross-backend guarantee of
+// WithStorage across measurements that hold the same sweep on several
+// storage backends: for every (experiment, x, series, workers) point, all
+// backends must agree on the INF status, the number of SCCs, the iteration
+// count, and every accounted I/O count.  It returns one violation string
+// per disagreement.
+func VerifyStorageEquivalence(ms []Measurement) []string {
+	return equivalenceViolations(ms,
+		func(m Measurement) string {
+			return fmt.Sprintf("%s|%s|%s|w=%d", m.Experiment, m.X, m.Series, m.Workers)
+		},
+		func(m Measurement) string { return "storage=" + m.Storage })
+}
+
+// VerifyWorkerEquivalence checks the core guarantee of WithWorkers across a
+// report that holds the same sweep at several worker counts: for every
+// (experiment, x, series) point, all worker counts must agree on the INF
+// status, the number of SCCs, the iteration count, and every accounted I/O
+// count.  It returns one violation string per disagreement.
+func VerifyWorkerEquivalence(ms []Measurement) []string {
+	return equivalenceViolations(ms,
+		func(m Measurement) string {
+			return fmt.Sprintf("%s|%s|%s", m.Experiment, m.X, m.Series)
+		},
+		func(m Measurement) string { return fmt.Sprintf("workers=%d", m.Workers) })
 }

@@ -85,6 +85,9 @@ func TestVerifyWorkerEquivalence(t *testing.T) {
 	if len(v) != 1 || !strings.Contains(v[0], "I/O counts differ") {
 		t.Fatalf("expected an I/O-difference violation, got %v", v)
 	}
+	if strings.Contains(v[0], "%!") {
+		t.Fatalf("violation message has a formatting bug: %v", v[0])
+	}
 	par[0].TotalIOs--
 	par[0].NumSCCs++
 	v = VerifyWorkerEquivalence(append(seq, par...))

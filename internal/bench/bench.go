@@ -23,11 +23,13 @@ import (
 
 	"extscc"
 	"extscc/internal/baseline"
+	"extscc/internal/blockio"
 	"extscc/internal/core"
 	"extscc/internal/edgefile"
 	"extscc/internal/graphgen"
 	"extscc/internal/iomodel"
 	"extscc/internal/record"
+	"extscc/internal/storage"
 )
 
 // Algorithm names used in the measurement series, matching the paper's
@@ -53,6 +55,9 @@ type Measurement struct {
 	// TotalIOs/RandomIOs (the parallel sorter keeps the accounted I/O
 	// identical), only Duration.
 	Workers int
+	// Storage names the backend the run executed on ("os", "mem").  Like
+	// Workers it never changes the accounted I/O counts, only Duration.
+	Storage string
 	// Duration is the wall-clock time of the run (0 when INF).
 	Duration time.Duration
 	// TotalIOs and RandomIOs are block-transfer counts (0 when INF).
@@ -86,6 +91,10 @@ type Config struct {
 	// I/O.  0 and 1 both mean sequential, the paper's reference execution;
 	// the measured I/O counts are identical at every setting.
 	Workers int
+	// Storage is the backend graphs and intermediates live on (nil = the
+	// process default, normally the OS backend).  The measured I/O counts
+	// are identical on every backend; only the wall-clock changes.
+	Storage storage.Backend
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +129,7 @@ func (c Config) ioConfig(nodeBudget int64) iomodel.Config {
 		NodeBudget: nodeBudget,
 		TempDir:    c.TempDir,
 		Workers:    c.resolvedWorkers(),
+		Storage:    c.Storage,
 		Stats:      &iomodel.Stats{},
 	}
 }
@@ -200,8 +210,8 @@ func onDiskGraph(c Config, write func(path string, cfg iomodel.Config) (int64, e
 		return edgefile.Graph{}, nil, err
 	}
 	cleanup := func() {
-		os.Remove(g.EdgePath)
-		os.Remove(g.NodePath)
+		blockio.Remove(g.EdgePath, genCfg)
+		blockio.Remove(g.NodePath, genCfg)
 	}
 	return g, cleanup, nil
 }
@@ -284,6 +294,7 @@ func runSuite(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64
 
 // runRegistered runs one registry algorithm on the pre-staged graph g.
 func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64, algo, series string, budgeted bool) (Measurement, error) {
+	backend := c.ioConfig(0).Backend()
 	opts := []extscc.Option{
 		extscc.WithAlgorithm(algo),
 		extscc.WithMemory(iomodel.DefaultMemory),
@@ -291,6 +302,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 		extscc.WithNodeBudget(nodeBudget),
 		extscc.WithWorkers(c.resolvedWorkers()),
 		extscc.WithTempDir(c.TempDir),
+		extscc.WithStorage(backend),
 	}
 	ctx := context.Background()
 	if budgeted {
@@ -316,7 +328,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 	res, err := eng.Run(ctx, extscc.PreparedSource(g.EdgePath, g.NodePath, g.NumNodes, g.NumEdges))
 	switch {
 	case errors.Is(err, extscc.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded):
-		return Measurement{Experiment: experiment, Series: series, X: x, Workers: c.resolvedWorkers(), INF: true, Note: "exceeded budget"}, nil
+		return Measurement{Experiment: experiment, Series: series, X: x, Workers: c.resolvedWorkers(), Storage: backend.Name(), INF: true, Note: "exceeded budget"}, nil
 	case err != nil:
 		return Measurement{}, err
 	}
@@ -326,6 +338,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 		Series:     series,
 		X:          x,
 		Workers:    res.Stats.Workers,
+		Storage:    res.Stats.Storage,
 		Duration:   res.Stats.Duration,
 		TotalIOs:   res.Stats.TotalIOs,
 		RandomIOs:  res.Stats.RandomIOs,
@@ -349,6 +362,7 @@ func runExt(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64, 
 		Series:     series,
 		X:          x,
 		Workers:    cfg.WorkerCount(),
+		Storage:    cfg.Backend().Name(),
 		Duration:   res.Duration,
 		TotalIOs:   res.IO.TotalIOs(),
 		RandomIOs:  res.IO.RandomIOs(),
@@ -410,7 +424,7 @@ func fig6(c Config) ([]Measurement, error) {
 			if err != nil {
 				return nil, err
 			}
-			sampledCleanup = func() { os.Remove(path); os.Remove(sampled.NodePath) }
+			sampledCleanup = func() { blockio.Remove(path, genCfg); blockio.Remove(sampled.NodePath, genCfg) }
 		}
 		ms, err := runSuite(c, "fig6", fmt.Sprintf("%d%%", pct), sampled, budget)
 		if sampledCleanup != nil {
@@ -577,7 +591,7 @@ func emscc(c Config) ([]Measurement, error) {
 			MaxIterations:  16,
 		}, cfg)
 		if errors.Is(err, context.DeadlineExceeded) {
-			out = append(out, Measurement{Experiment: "emscc", Series: AlgoEM, X: x, INF: true, Note: "exceeded budget"})
+			out = append(out, Measurement{Experiment: "emscc", Series: AlgoEM, X: x, Workers: cfg.WorkerCount(), Storage: cfg.Backend().Name(), INF: true, Note: "exceeded budget"})
 			return nil
 		}
 		if err != nil {
@@ -587,6 +601,8 @@ func emscc(c Config) ([]Measurement, error) {
 			Experiment: "emscc",
 			Series:     AlgoEM,
 			X:          x,
+			Workers:    cfg.WorkerCount(),
+			Storage:    cfg.Backend().Name(),
 			Duration:   res.Duration,
 			TotalIOs:   res.IO.TotalIOs(),
 			RandomIOs:  res.IO.RandomIOs(),
@@ -598,7 +614,7 @@ func emscc(c Config) ([]Measurement, error) {
 			m.Note = "did not converge"
 		}
 		if res.LabelPath != "" {
-			os.Remove(res.LabelPath)
+			blockio.Remove(res.LabelPath, cfg)
 		}
 		out = append(out, m)
 		return nil
@@ -614,7 +630,7 @@ func emscc(c Config) ([]Measurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer dag.Remove()
+	defer dag.Remove(genCfg)
 	if err := run("DAG (Case-2)", dag, n/2); err != nil {
 		return nil, err
 	}
@@ -700,12 +716,12 @@ func FormatTable(ms []Measurement) string {
 
 // WriteCSV writes measurements as CSV for plotting.
 func WriteCSV(w io.Writer, ms []Measurement) error {
-	if _, err := fmt.Fprintln(w, "experiment,x,algorithm,workers,duration_ms,total_ios,random_ios,iterations,num_sccs,inf,note"); err != nil {
+	if _, err := fmt.Fprintln(w, "experiment,x,algorithm,workers,storage,duration_ms,total_ios,random_ios,iterations,num_sccs,inf,note"); err != nil {
 		return err
 	}
 	for _, m := range ms {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%t,%q\n",
-			m.Experiment, m.X, m.Series, m.Workers, m.Duration.Milliseconds(), m.TotalIOs, m.RandomIOs,
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%d,%d,%d,%d,%d,%t,%q\n",
+			m.Experiment, m.X, m.Series, m.Workers, m.Storage, m.Duration.Milliseconds(), m.TotalIOs, m.RandomIOs,
 			m.Iterations, m.NumSCCs, m.INF, m.Note); err != nil {
 			return err
 		}

@@ -1,11 +1,16 @@
-// Package blockio provides block-buffered, I/O-counted access to on-disk
-// files.  Every read and write performed by the external algorithms in this
-// repository goes through this package so that the number of block transfers
-// (and whether they are sequential or random) is measured exactly as in the
-// I/O model of the paper.
+// Package blockio provides block-buffered, I/O-counted access to files of a
+// storage backend.  Every read and write performed by the external
+// algorithms in this repository goes through this package so that the number
+// of block transfers (and whether they are sequential or random) is measured
+// exactly as in the I/O model of the paper.  The backend (local disk, RAM,
+// ...) comes from iomodel.Config.Backend(); the accounting is charged here,
+// above the backend, so every backend observes identical I/O counts.
 package blockio
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -13,25 +18,53 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"extscc/internal/iomodel"
+	"extscc/internal/storage"
 )
 
 // ErrClosed is returned by operations on a closed Reader or Writer.
 var ErrClosed = errors.New("blockio: file already closed")
 
-var tempSeq atomic.Int64
+// tempNamer generates unique temp-file names: a per-process random prefix
+// guards against collisions between processes sharing one TempDir (a bare
+// sequence number is unique only within a process), and the sequence number
+// keeps names unique within the process.
+type tempNamer struct {
+	prefix string
+	seq    atomic.Int64
+}
+
+// newTempNamer draws a fresh random prefix.  When the system entropy source
+// is unavailable it falls back to PID+time, which still separates processes.
+func newTempNamer() *tempNamer {
+	var b [6]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		binary.LittleEndian.PutUint16(b[0:2], uint16(os.Getpid()))
+		binary.LittleEndian.PutUint32(b[2:6], uint32(time.Now().UnixNano()))
+	}
+	return &tempNamer{prefix: hex.EncodeToString(b[:])}
+}
+
+// path returns the next unique path under dir.
+func (t *tempNamer) path(dir, prefix string) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%s-%06d.bin", prefix, t.prefix, t.seq.Add(1)))
+}
+
+var defaultNamer = newTempNamer()
 
 // TempFile returns a unique path for an intermediate file under dir (or the
 // system temp directory when dir is empty).  The file is not created; callers
 // pass the path to NewWriter.  The stats counter records the file creation.
+// Names embed a per-process random prefix, so two processes sharing one
+// TempDir never collide.
 func TempFile(dir, prefix string, stats *iomodel.Stats) string {
 	if dir == "" {
 		dir = os.TempDir()
 	}
-	n := tempSeq.Add(1)
 	stats.CountFile()
-	return filepath.Join(dir, fmt.Sprintf("%s-%06d.bin", prefix, n))
+	return defaultNamer.path(dir, prefix)
 }
 
 // Writer writes a file in blocks of the configured size, counting one write
@@ -45,7 +78,7 @@ func TempFile(dir, prefix string, stats *iomodel.Stats) string {
 // disk error from an asynchronous write surfaces on a later Write or on
 // Close.
 type Writer struct {
-	f         *os.File
+	f         storage.File
 	buf       []byte
 	n         int
 	blockSize int
@@ -80,10 +113,11 @@ func (a *asyncWriter) error() error {
 	return a.err
 }
 
-// NewWriter creates (truncating) the file at path and returns a Writer using
-// block size cfg.BlockSize, charging I/Os to cfg.Stats.
+// NewWriter creates (truncating) the file at path on cfg's storage backend
+// and returns a Writer using block size cfg.BlockSize, charging I/Os to
+// cfg.Stats.
 func NewWriter(path string, cfg iomodel.Config) (*Writer, error) {
-	f, err := os.Create(path)
+	f, err := cfg.Backend().Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("blockio: create %s: %w", path, err)
 	}
@@ -213,7 +247,7 @@ func (w *Writer) Close() error {
 // synchronous fetching: a seeking access pattern gains nothing from
 // sequential prefetch, and the fallback keeps random-I/O accounting exact.
 type Reader struct {
-	f          *os.File
+	f          storage.File
 	buf        []byte
 	r, n       int
 	blockSize  int
@@ -242,13 +276,14 @@ type prefetcher struct {
 	stop   chan struct{}
 }
 
-// NewReader opens the file at path for block-buffered reading.
+// NewReader opens the file at path on cfg's storage backend for
+// block-buffered reading.
 func NewReader(path string, cfg iomodel.Config) (*Reader, error) {
-	f, err := os.Open(path)
+	f, err := cfg.Backend().Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("blockio: open %s: %w", path, err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("blockio: stat %s: %w", path, err)
@@ -257,7 +292,7 @@ func NewReader(path string, cfg iomodel.Config) (*Reader, error) {
 	if bs <= 0 {
 		bs = iomodel.DefaultBlockSize
 	}
-	r := &Reader{f: f, buf: make([]byte, bs), blockSize: bs, stats: cfg.Stats, size: st.Size()}
+	r := &Reader{f: f, buf: make([]byte, bs), blockSize: bs, stats: cfg.Stats, size: size}
 	if cfg.WorkerCount() > 1 && r.size > int64(bs) {
 		r.startPrefetch(0)
 	}
@@ -438,11 +473,11 @@ func (r *Reader) Close() error {
 	return nil
 }
 
-// Remove deletes the file at path, ignoring not-exist errors.  It is the
-// cleanup helper used for intermediate files.
-func Remove(path string) error {
-	err := os.Remove(path)
-	if err != nil && !os.IsNotExist(err) {
+// Remove deletes the file at path from cfg's storage backend, ignoring
+// not-exist errors.  It is the cleanup helper used for intermediate files.
+func Remove(path string, cfg iomodel.Config) error {
+	err := cfg.Backend().Remove(path)
+	if err != nil && !storage.IsNotExist(err) {
 		return err
 	}
 	return nil

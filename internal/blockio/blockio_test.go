@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"extscc/internal/iomodel"
+	"extscc/internal/storage"
 )
 
 func testConfig(t *testing.T, blockSize int) iomodel.Config {
@@ -19,6 +20,32 @@ func testConfig(t *testing.T, blockSize int) iomodel.Config {
 		TempDir:   t.TempDir(),
 		Stats:     &iomodel.Stats{},
 	}
+}
+
+// writeRaw stages raw bytes at path on cfg's storage backend (the
+// backend-agnostic analogue of os.WriteFile).
+func writeRaw(t *testing.T, cfg iomodel.Config, path string, data []byte) {
+	t.Helper()
+	f, err := cfg.Backend().Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readRaw loads the whole file at path from cfg's storage backend.
+func readRaw(t *testing.T, cfg iomodel.Config, path string) []byte {
+	t.Helper()
+	data, err := storage.ReadFile(cfg.Backend(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
@@ -89,9 +116,7 @@ func TestWriterCountsBlocks(t *testing.T) {
 func TestReaderCountsSequentialBlocks(t *testing.T) {
 	cfg := testConfig(t, 100)
 	path := filepath.Join(t.TempDir(), "seq.bin")
-	if err := os.WriteFile(path, make([]byte, 1000), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeRaw(t, cfg, path, make([]byte, 1000))
 	r, err := NewReader(path, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -116,9 +141,7 @@ func TestSeekCountsRandomRead(t *testing.T) {
 	for i := range data {
 		data[i] = byte(i)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeRaw(t, cfg, path, data)
 	r, err := NewReader(path, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -153,9 +176,7 @@ func TestSeekCountsRandomRead(t *testing.T) {
 func TestSeekBackToSequentialPositionIsNotRandom(t *testing.T) {
 	cfg := testConfig(t, 100)
 	path := filepath.Join(t.TempDir(), "seq2.bin")
-	if err := os.WriteFile(path, make([]byte, 300), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeRaw(t, cfg, path, make([]byte, 300))
 	r, err := NewReader(path, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -179,9 +200,7 @@ func TestSeekBackToSequentialPositionIsNotRandom(t *testing.T) {
 func TestReaderClosedErrors(t *testing.T) {
 	cfg := testConfig(t, 64)
 	path := filepath.Join(t.TempDir(), "c.bin")
-	if err := os.WriteFile(path, []byte("hello"), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeRaw(t, cfg, path, []byte("hello"))
 	r, err := NewReader(path, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -228,9 +247,7 @@ func TestNewReaderMissingFile(t *testing.T) {
 func TestSeekNegative(t *testing.T) {
 	cfg := testConfig(t, 64)
 	path := filepath.Join(t.TempDir(), "n.bin")
-	if err := os.WriteFile(path, []byte("hello"), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeRaw(t, cfg, path, []byte("hello"))
 	r, err := NewReader(path, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -261,21 +278,45 @@ func TestTempFileUnique(t *testing.T) {
 }
 
 func TestRemoveMissingIsNil(t *testing.T) {
-	if err := Remove(filepath.Join(t.TempDir(), "nope.bin")); err != nil {
+	cfg := testConfig(t, 64)
+	if err := Remove(filepath.Join(t.TempDir(), "nope.bin"), cfg); err != nil {
 		t.Fatalf("Remove missing file: %v", err)
 	}
 }
 
 func TestRemoveExisting(t *testing.T) {
+	cfg := testConfig(t, 64)
 	path := filepath.Join(t.TempDir(), "gone.bin")
-	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+	writeRaw(t, cfg, path, []byte("x"))
+	if err := Remove(path, cfg); err != nil {
 		t.Fatal(err)
 	}
-	if err := Remove(path); err != nil {
-		t.Fatal(err)
+	if _, err := cfg.Backend().Open(path); !storage.IsNotExist(err) {
+		t.Fatalf("file still exists: %v", err)
 	}
-	if _, err := os.Stat(path); !os.IsNotExist(err) {
-		t.Fatal("file still exists")
+}
+
+// TestTempNamerCrossProcessUnique is the regression test for the temp-name
+// collision risk: two fresh namers stand in for two processes sharing one
+// TempDir — their sequence counters advance in lockstep, so without the
+// per-process random prefix every generated pair would collide.
+func TestTempNamerCrossProcessUnique(t *testing.T) {
+	a, b := newTempNamer(), newTempNamer()
+	if a.prefix == "" || b.prefix == "" {
+		t.Fatal("tempNamer has no random prefix")
+	}
+	if a.prefix == b.prefix {
+		t.Fatalf("two fresh namers drew the same prefix %q", a.prefix)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		for _, n := range []*tempNamer{a, b} {
+			p := n.path("/shared/tmp", "run")
+			if seen[p] {
+				t.Fatalf("duplicate temp path %q across namers", p)
+			}
+			seen[p] = true
+		}
 	}
 }
 
@@ -349,10 +390,7 @@ func TestOverlappedIOMatchesSynchronous(t *testing.T) {
 		if err := w.Close(); err != nil {
 			t.Fatal(err)
 		}
-		disk, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
+		disk := readRaw(t, cfg, path)
 		r, err := NewReader(path, cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -221,7 +221,7 @@ func (t *Tree) Len() int64 { return t.inserted - t.extracted }
 func (t *Tree) Close() error {
 	for _, p := range t.paths {
 		if p != "" {
-			if err := blockio.Remove(p); err != nil {
+			if err := blockio.Remove(p, t.cfg); err != nil {
 				return err
 			}
 		}

@@ -101,7 +101,7 @@ func (c *contractor) keep(path string) {
 
 func (c *contractor) cleanup() {
 	for _, p := range c.temps {
-		blockio.Remove(p)
+		blockio.Remove(p, c.cfg)
 	}
 }
 

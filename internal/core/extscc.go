@@ -15,7 +15,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"os"
 	"time"
 
 	"extscc/internal/blockio"
@@ -97,15 +96,16 @@ type Result struct {
 	RunDir string
 
 	keepTemp bool
+	cfg      iomodel.Config
 }
 
-// Cleanup removes the run directory, including the final label file.  Call it
-// once the labels have been consumed.
+// Cleanup removes the run directory, including the final label file, from
+// the run's storage backend.  Call it once the labels have been consumed.
 func (r *Result) Cleanup() error {
 	if r == nil || r.RunDir == "" {
 		return nil
 	}
-	return os.RemoveAll(r.RunDir)
+	return r.cfg.Backend().RemoveAll(r.RunDir)
 }
 
 // ExtSCC computes all SCCs of g under the memory budget of cfg.
@@ -120,23 +120,16 @@ func ExtSCC(ctx context.Context, g edgefile.Graph, dir string, opts Options, cfg
 	if dir == "" {
 		dir = cfg.TempDir
 	}
-	runDir, err := os.MkdirTemp(dirOrTemp(dir), "extscc-run-")
+	runDir, err := cfg.Backend().MkdirTemp(dir, "extscc-run-")
 	if err != nil {
 		return nil, fmt.Errorf("core: create run directory: %w", err)
 	}
 	res, err := run(ctx, g, runDir, opts, cfg)
 	if err != nil {
-		os.RemoveAll(runDir)
+		cfg.Backend().RemoveAll(runDir)
 		return nil, err
 	}
 	return res, nil
-}
-
-func dirOrTemp(dir string) string {
-	if dir == "" {
-		return os.TempDir()
-	}
-	return dir
 }
 
 type removedStep struct {
@@ -155,7 +148,7 @@ func run(ctx context.Context, g edgefile.Graph, runDir string, opts Options, cfg
 		return nil, err
 	}
 
-	result := &Result{RunDir: runDir, keepTemp: opts.KeepTemp, NumNodes: g.NumNodes}
+	result := &Result{RunDir: runDir, keepTemp: opts.KeepTemp, NumNodes: g.NumNodes, cfg: cfg}
 	copts := contraction.Options{Optimized: opts.Optimized, Type2DictSize: opts.Type2DictSize}
 
 	// Graph-contraction phase (Algorithm 2, lines 2-4): shrink the node set
@@ -219,7 +212,7 @@ func run(ctx context.Context, g edgefile.Graph, runDir string, opts Options, cfg
 			return nil, err
 		}
 		if !opts.KeepTemp {
-			blockio.Remove(labels)
+			blockio.Remove(labels, cfg)
 		}
 		labels = eres.LabelPath
 	}
@@ -241,20 +234,20 @@ func run(ctx context.Context, g edgefile.Graph, runDir string, opts Options, cfg
 	if !opts.KeepTemp {
 		for _, step := range steps {
 			if step.edgePath != g.EdgePath {
-				blockio.Remove(step.edgePath)
+				blockio.Remove(step.edgePath, cfg)
 			}
-			blockio.Remove(step.removedPath)
+			blockio.Remove(step.removedPath, cfg)
 		}
 		for _, ig := range intermediateGraphs {
 			if ig.EdgePath != g.EdgePath {
-				blockio.Remove(ig.EdgePath)
+				blockio.Remove(ig.EdgePath, cfg)
 			}
 			if ig.NodePath != g.NodePath {
-				blockio.Remove(ig.NodePath)
+				blockio.Remove(ig.NodePath, cfg)
 			}
 		}
 		if semiRes.LabelPath != labels {
-			blockio.Remove(semiRes.LabelPath)
+			blockio.Remove(semiRes.LabelPath, cfg)
 		}
 	}
 

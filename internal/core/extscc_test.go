@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"math/rand"
-	"os"
 	"testing"
 	"testing/quick"
 
@@ -295,7 +294,7 @@ func TestExtSCCCancelledMidContraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runDir, err := os.MkdirTemp(cfg.TempDir, "cancel-run-")
+	runDir, err := cfg.Backend().MkdirTemp(cfg.TempDir, "cancel-run-")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,16 +311,12 @@ func TestExtSCCCancelledMidContraction(t *testing.T) {
 	if iterations != 1 {
 		t.Fatalf("run continued for %d iterations after cancellation", iterations)
 	}
-	entries, err := os.ReadDir(runDir)
+	entries, err := cfg.Backend().List(runDir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(entries) != 0 {
-		names := make([]string, 0, len(entries))
-		for _, e := range entries {
-			names = append(names, e.Name())
-		}
-		t.Fatalf("cancelled run left temp files behind: %v", names)
+		t.Fatalf("cancelled run left temp files behind: %v", entries)
 	}
 }
 
@@ -361,7 +356,7 @@ func TestExtSCCKeepTemp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	entries, err := os.ReadDir(res.RunDir)
+	entries, err := cfg.Backend().List(res.RunDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +366,11 @@ func TestExtSCCKeepTemp(t *testing.T) {
 	if err := res.Cleanup(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(res.RunDir); !os.IsNotExist(err) {
-		t.Fatal("Cleanup did not remove the run directory")
+	left, err := cfg.Backend().List(res.RunDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("Cleanup left %d files in the run directory", len(left))
 	}
 }

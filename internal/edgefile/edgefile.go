@@ -39,12 +39,12 @@ func (g Graph) String() string {
 	return fmt.Sprintf("graph{|V|=%d |E|=%d edges=%s nodes=%s}", g.NumNodes, g.NumEdges, g.EdgePath, g.NodePath)
 }
 
-// Remove deletes both backing files.
-func (g Graph) Remove() error {
-	if err := blockio.Remove(g.EdgePath); err != nil {
+// Remove deletes both backing files from cfg's storage backend.
+func (g Graph) Remove(cfg iomodel.Config) error {
+	if err := blockio.Remove(g.EdgePath, cfg); err != nil {
 		return err
 	}
-	return blockio.Remove(g.NodePath)
+	return blockio.Remove(g.NodePath, cfg)
 }
 
 // WriteGraph materialises an in-memory edge list and node list as an on-disk
@@ -76,13 +76,13 @@ func WriteGraph(dir string, edges []record.Edge, nodes []record.NodeID, cfg iomo
 	if err := recio.WriteSlice(tmp, record.NodeCodec{}, cfg, nodes); err != nil {
 		return Graph{}, err
 	}
-	defer blockio.Remove(tmp)
+	defer blockio.Remove(tmp, cfg)
 	sorter := extsort.New[record.NodeID](record.NodeCodec{}, record.NodeLess, cfg)
 	sortedTmp := blockio.TempFile(dir, "graph-nodes-sorted", cfg.Stats)
 	if err := sorter.SortFile(tmp, sortedTmp); err != nil {
 		return Graph{}, err
 	}
-	defer blockio.Remove(sortedTmp)
+	defer blockio.Remove(sortedTmp, cfg)
 	n, err := DedupeNodes(sortedTmp, nodePath, cfg)
 	if err != nil {
 		return Graph{}, err
@@ -145,14 +145,14 @@ func GraphFromEdgeFile(edgePath, dir string, extraNodes []record.NodeID, cfg iom
 	if err := ew.Close(); err != nil {
 		return Graph{}, err
 	}
-	defer blockio.Remove(endpoints)
+	defer blockio.Remove(endpoints, cfg)
 
 	sorted := blockio.TempFile(dir, "endpoints-sorted", cfg.Stats)
 	sorter := extsort.New[record.NodeID](record.NodeCodec{}, record.NodeLess, cfg)
 	if err := sorter.SortFile(endpoints, sorted); err != nil {
 		return Graph{}, err
 	}
-	defer blockio.Remove(sorted)
+	defer blockio.Remove(sorted, cfg)
 
 	nodePath := blockio.TempFile(dir, "graph-nodes", cfg.Stats)
 	numNodes, err := DedupeNodes(sorted, nodePath, cfg)

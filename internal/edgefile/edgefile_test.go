@@ -53,7 +53,7 @@ func TestWriteGraphDerivesNodes(t *testing.T) {
 			t.Fatalf("nodes = %v, want %v", nodes, want)
 		}
 	}
-	if err := g.Remove(); err != nil {
+	if err := g.Remove(cfg); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -89,7 +89,7 @@ func (e *expander) keep(path string) {
 
 func (e *expander) cleanup() {
 	for _, p := range e.temps {
-		blockio.Remove(p)
+		blockio.Remove(p, e.cfg)
 	}
 }
 

@@ -102,11 +102,11 @@ func (s *Sorter[T]) SortFile(inPath, outPath string) error {
 func (s *Sorter[T]) SortStream(in recio.Iterator[T], outPath string) error {
 	runs, err := s.formRuns(in)
 	if err != nil {
-		removeAll(runs)
+		removeAll(runs, s.cfg)
 		return err
 	}
 	if err := s.mergeRuns(runs, outPath); err != nil {
-		removeAll(runs)
+		removeAll(runs, s.cfg)
 		return err
 	}
 	return nil
@@ -140,7 +140,7 @@ func (s *Sorter[T]) formRuns(in recio.Iterator[T]) ([]string, error) {
 		s.SortSlice(buf)
 		path := blockio.TempFile(s.cfg.TempDir, "extsort-run", s.cfg.Stats)
 		if err := recio.WriteSlice(path, s.codec, s.cfg, buf); err != nil {
-			blockio.Remove(path)
+			blockio.Remove(path, s.cfg)
 			return err
 		}
 		s.cfg.Stats.CountSortRun(int64(len(buf)))
@@ -284,19 +284,19 @@ func (s *Sorter[T]) writeRun(buf []T) (string, error) {
 		if written++; written%checkEvery == 0 {
 			if err := s.ctxErr(); err != nil {
 				w.Close()
-				blockio.Remove(path)
+				blockio.Remove(path, s.cfg)
 				return "", err
 			}
 		}
 		if err := w.Write(chunks[best][idx[best]]); err != nil {
 			w.Close()
-			blockio.Remove(path)
+			blockio.Remove(path, s.cfg)
 			return "", err
 		}
 		idx[best]++
 	}
 	if err := w.Close(); err != nil {
-		blockio.Remove(path)
+		blockio.Remove(path, s.cfg)
 		return "", err
 	}
 	s.cfg.Stats.CountSortRun(int64(len(buf)))
@@ -358,8 +358,8 @@ func (s *Sorter[T]) mergeRuns(runs []string, outPath string) error {
 	// whole in-flight state; Remove ignores files already consumed.
 	var created []string
 	fail := func(err error) error {
-		removeAll(created)
-		blockio.Remove(outPath)
+		removeAll(created, s.cfg)
+		blockio.Remove(outPath, s.cfg)
 		return err
 	}
 	current := runs
@@ -388,7 +388,7 @@ func (s *Sorter[T]) mergeRuns(runs []string, outPath string) error {
 		if err := s.copyFile(current[0], outPath); err != nil {
 			return fail(err)
 		}
-		removeAll(current)
+		removeAll(current, s.cfg)
 	}
 	return nil
 }
@@ -421,7 +421,7 @@ func (s *Sorter[T]) mergePass(current, next []string, fanIn int) error {
 			if err := s.mergeGroup(g, next[gi]); err != nil {
 				return err
 			}
-			removeAll(g)
+			removeAll(g, s.cfg)
 		}
 		return nil
 	}
@@ -461,7 +461,7 @@ func (s *Sorter[T]) mergePass(current, next []string, fanIn int) error {
 				setErr(err)
 				return
 			}
-			removeAll(g)
+			removeAll(g, s.cfg)
 		}(gi)
 	}
 	wg.Wait()
@@ -562,9 +562,9 @@ func (s *Sorter[T]) copyFile(src, dst string) error {
 	return err
 }
 
-func removeAll(paths []string) {
+func removeAll(paths []string, cfg iomodel.Config) {
 	for _, p := range paths {
-		blockio.Remove(p)
+		blockio.Remove(p, cfg)
 	}
 }
 
@@ -599,27 +599,24 @@ func SortFileInPlace[T any](path string, codec record.Codec[T], less func(a, b T
 	tmp := blockio.TempFile(cfg.TempDir, "extsort-inplace", cfg.Stats)
 	s := New(codec, less, cfg)
 	if err := s.SortFile(path, tmp); err != nil {
-		blockio.Remove(tmp)
+		blockio.Remove(tmp, cfg)
 		return err
 	}
-	if err := replaceFile(tmp, path, codec, cfg); err != nil {
-		blockio.Remove(tmp)
+	if err := replaceFile(tmp, path, cfg); err != nil {
+		blockio.Remove(tmp, cfg)
 		return err
 	}
 	return nil
 }
 
-// replaceFile moves src over dst.  A plain rename is free of I/O in the model
-// (metadata only), matching how the paper treats renaming intermediate files.
-func replaceFile[T any](src, dst string, codec record.Codec[T], cfg iomodel.Config) error {
-	if err := blockio.Remove(dst); err != nil {
+// replaceFile moves src over dst on cfg's storage backend.  A plain rename is
+// free of I/O in the model (metadata only), matching how the paper treats
+// renaming intermediate files.
+func replaceFile(src, dst string, cfg iomodel.Config) error {
+	if err := blockio.Remove(dst, cfg); err != nil {
 		return err
 	}
-	return renameFile(src, dst)
-}
-
-func renameFile(src, dst string) error {
-	if err := osRename(src, dst); err != nil {
+	if err := cfg.Backend().Rename(src, dst); err != nil {
 		return fmt.Errorf("extsort: rename %s -> %s: %w", src, dst, err)
 	}
 	return nil

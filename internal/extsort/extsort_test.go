@@ -16,6 +16,7 @@ import (
 	"extscc/internal/iomodel"
 	"extscc/internal/recio"
 	"extscc/internal/record"
+	"extscc/internal/storage"
 )
 
 func testConfig(t *testing.T, memory int64) iomodel.Config {
@@ -323,7 +324,7 @@ func TestParallelSortByteIdenticalAndSameIO(t *testing.T) {
 		if err := s.SortFile(in, out); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		data, err := os.ReadFile(out)
+		data, err := storage.ReadFile(cfg.Backend(), out)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -427,8 +428,8 @@ func TestParallelSortCancellationMidMerge(t *testing.T) {
 		}
 		t.Fatalf("cancelled sort left %d temp files: %v", len(names), names)
 	}
-	if _, err := os.Stat(out); !os.IsNotExist(err) {
-		t.Fatalf("cancelled sort left a partial output file (stat err: %v)", err)
+	if _, err := cfg.Backend().Open(out); !storage.IsNotExist(err) {
+		t.Fatalf("cancelled sort left a partial output file (open err: %v)", err)
 	}
 }
 

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+
+	"extscc/internal/storage"
 )
 
 // Default parameters for the scaled-down reproduction.  The paper uses
@@ -58,6 +60,13 @@ type Config struct {
 	// of the worker count, so every Stats counter matches the sequential run
 	// exactly (see package extsort).
 	Workers int
+	// Storage is the backend every file of the run lives on.  nil selects
+	// the process default (the OS backend, unless the EXTSCC_STORAGE
+	// environment variable overrides it; see storage.Default).  The backend
+	// never changes the accounted I/O: blockio charges Stats per block above
+	// the storage layer, so a run against the in-memory backend counts
+	// exactly the I/Os of the same run against local disk.
+	Storage storage.Backend
 	// Stats receives the I/O counts of every operation performed under this
 	// configuration.  If nil, a private Stats is allocated by Validate.
 	Stats *Stats
@@ -92,7 +101,19 @@ func (c Config) Validate() (Config, error) {
 	if c.Stats == nil {
 		c.Stats = &Stats{}
 	}
+	if c.Storage == nil {
+		c.Storage = storage.Default()
+	}
 	return c, nil
+}
+
+// Backend returns the effective storage backend of the configuration (the
+// process default when the Storage field was left nil).
+func (c Config) Backend() storage.Backend {
+	if c.Storage != nil {
+		return c.Storage
+	}
+	return storage.Default()
 }
 
 // WorkerCount returns the effective worker count: at least 1.

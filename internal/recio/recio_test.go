@@ -70,7 +70,14 @@ func TestWriteReadEdges(t *testing.T) {
 func TestReaderRejectsTruncatedFile(t *testing.T) {
 	cfg := testConfig(t)
 	path := filepath.Join(t.TempDir(), "bad.bin")
-	if err := os.WriteFile(path, make([]byte, 10), 0o644); err != nil { // not a multiple of 8
+	f, err := cfg.Backend().Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 10)); err != nil { // not a multiple of 8
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := NewReader(path, record.EdgeCodec{}, cfg); err == nil {

@@ -1,0 +1,272 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// memKey normalises a caller path to the store's canonical slash-separated
+// key form.  Callers build paths with filepath.Join, which uses backslashes
+// on Windows; without the normalisation a run directory's key and the keys
+// of the files beneath it would use different separators, and the
+// prefix-based RemoveAll/List would silently miss everything.
+func memKey(p string) string {
+	return path.Clean(filepath.ToSlash(p))
+}
+
+// MemBackend is a lock-protected in-memory block store.  Paths are opaque
+// keys (the slash-separated names the rest of the repository would use on
+// disk), files are byte slices, and directories exist only implicitly as
+// path prefixes — MkdirTemp fabricates a unique prefix and RemoveAll drops
+// every file beneath one.  The block-level I/O accounting happens in
+// package blockio above this store, so a run against MemBackend charges
+// exactly the I/Os of the same run against the OS backend.
+type MemBackend struct {
+	mu    sync.RWMutex
+	files map[string]*memData
+	seq   atomic.Int64
+}
+
+// memData is the inode of one in-memory file.  Its lock serialises the data
+// slice; handles share the inode, so (like an unlinked OS file) a handle
+// opened before a Create keeps the old bytes alive.
+type memData struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+var sharedMem = NewMem()
+
+// SharedMem returns the process-wide in-memory store (the one EXTSCC_STORAGE
+// and the CLI -storage flags select, so that staging and computing in one
+// process observe the same files).
+func SharedMem() *MemBackend { return sharedMem }
+
+// NewMem returns a fresh, empty in-memory store.
+func NewMem() *MemBackend {
+	return &MemBackend{files: map[string]*memData{}}
+}
+
+// Name implements Backend.
+func (m *MemBackend) Name() string { return "mem" }
+
+// TempPath implements Backend.
+func (m *MemBackend) TempPath() string { return "/mem/tmp" }
+
+// Create implements Backend.
+func (m *MemBackend) Create(p string) (File, error) {
+	d := &memData{}
+	m.mu.Lock()
+	m.files[memKey(p)] = d
+	m.mu.Unlock()
+	return &memFile{name: p, d: d}, nil
+}
+
+// Open implements Backend.
+func (m *MemBackend) Open(p string) (File, error) {
+	m.mu.RLock()
+	d, ok := m.files[memKey(p)]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: p, Err: fs.ErrNotExist}
+	}
+	return &memFile{name: p, d: d}, nil
+}
+
+// Remove implements Backend.
+func (m *MemBackend) Remove(p string) error {
+	key := memKey(p)
+	m.mu.Lock()
+	_, ok := m.files[key]
+	delete(m.files, key)
+	m.mu.Unlock()
+	if !ok {
+		return &fs.PathError{Op: "remove", Path: p, Err: fs.ErrNotExist}
+	}
+	return nil
+}
+
+// Rename implements Backend.
+func (m *MemBackend) Rename(oldPath, newPath string) error {
+	oldKey, newKey := memKey(oldPath), memKey(newPath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.files[oldKey]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldPath, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldKey)
+	m.files[newKey] = d
+	return nil
+}
+
+// MkdirTemp implements Backend: it fabricates a unique directory prefix; no
+// state is stored, because directories exist only as prefixes of file keys.
+func (m *MemBackend) MkdirTemp(parent, pattern string) (string, error) {
+	if parent == "" {
+		parent = m.TempPath()
+	}
+	name := fmt.Sprintf("%s%d", strings.TrimSuffix(pattern, "*"), m.seq.Add(1))
+	return path.Join(filepath.ToSlash(parent), name), nil
+}
+
+// RemoveAll implements Backend: it drops the file at path and every file
+// beneath it.
+func (m *MemBackend) RemoveAll(p string) error {
+	prefix := memKey(p) + "/"
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, memKey(p))
+	for key := range m.files {
+		if strings.HasPrefix(key, prefix) {
+			delete(m.files, key)
+		}
+	}
+	return nil
+}
+
+// List implements Backend: every stored file whose key lies beneath dir.
+func (m *MemBackend) List(dir string) ([]string, error) {
+	prefix := memKey(dir) + "/"
+	m.mu.RLock()
+	out := []string{}
+	for key := range m.files {
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, key)
+		}
+	}
+	m.mu.RUnlock()
+	sort.Strings(out)
+	return out, nil
+}
+
+// Paths returns the keys of every stored file, sorted; tests use it to
+// assert that cancelled runs leave the store empty.
+func (m *MemBackend) Paths() []string {
+	m.mu.RLock()
+	out := make([]string, 0, len(m.files))
+	for key := range m.files {
+		out = append(out, key)
+	}
+	m.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored files.
+func (m *MemBackend) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.files)
+}
+
+// BytesHeld returns the total payload held by the store.
+func (m *MemBackend) BytesHeld() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	for _, d := range m.files {
+		d.mu.RLock()
+		total += int64(len(d.data))
+		d.mu.RUnlock()
+	}
+	return total
+}
+
+// memFile is one handle onto a memData inode.
+type memFile struct {
+	name   string
+	d      *memData
+	closed atomic.Bool
+}
+
+// errClosed mirrors the os.ErrClosed shape for operations on closed handles.
+func (f *memFile) errClosed(op string) error {
+	return &fs.PathError{Op: op, Path: f.name, Err: fs.ErrClosed}
+}
+
+func (f *memFile) Name() string { return f.name }
+
+func (f *memFile) Close() error {
+	f.closed.Store(true)
+	return nil
+}
+
+// Write appends p to the file.
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.closed.Load() {
+		return 0, f.errClosed("write")
+	}
+	f.d.mu.Lock()
+	f.d.data = append(f.d.data, p...)
+	f.d.mu.Unlock()
+	return len(p), nil
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed.Load() {
+		return 0, f.errClosed("read")
+	}
+	if off < 0 {
+		return 0, &fs.PathError{Op: "read", Path: f.name, Err: fmt.Errorf("negative offset %d", off)}
+	}
+	f.d.mu.RLock()
+	defer f.d.mu.RUnlock()
+	if off >= int64(len(f.d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.closed.Load() {
+		return 0, f.errClosed("write")
+	}
+	if off < 0 {
+		return 0, &fs.PathError{Op: "write", Path: f.name, Err: fmt.Errorf("negative offset %d", off)}
+	}
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if grow := off + int64(len(p)) - int64(len(f.d.data)); grow > 0 {
+		f.d.data = append(f.d.data, make([]byte, grow)...)
+	}
+	copy(f.d.data[off:], p)
+	return len(p), nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	if f.closed.Load() {
+		return f.errClosed("truncate")
+	}
+	if size < 0 {
+		return &fs.PathError{Op: "truncate", Path: f.name, Err: fmt.Errorf("negative size %d", size)}
+	}
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if size <= int64(len(f.d.data)) {
+		f.d.data = f.d.data[:size]
+	} else {
+		f.d.data = append(f.d.data, make([]byte, size-int64(len(f.d.data)))...)
+	}
+	return nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	if f.closed.Load() {
+		return 0, f.errClosed("stat")
+	}
+	f.d.mu.RLock()
+	defer f.d.mu.RUnlock()
+	return int64(len(f.d.data)), nil
+}

@@ -5,29 +5,44 @@ import (
 	"fmt"
 	"io"
 	"iter"
-	"os"
+
 	"time"
 
 	"extscc/internal/iomodel"
 	"extscc/internal/recio"
 	"extscc/internal/record"
+	"extscc/internal/storage"
 )
 
-// Stats summarises the I/O behaviour of a computation.
+// Stats summarises the I/O behaviour of a computation.  Every counter is
+// independent of the storage backend and of the worker count: for a fixed
+// workload and configuration, runs on OSStorage and MemStorage at any
+// WithWorkers setting report identical values (only Duration varies).
 type Stats struct {
 	// TotalIOs is the number of block transfers (reads plus writes).
 	TotalIOs int64
+	// ReadIOs and WriteIOs split TotalIOs by direction.
+	ReadIOs  int64
+	WriteIOs int64
 	// RandomIOs is the number of non-sequential block transfers.
 	RandomIOs int64
+	// RandomReads and RandomWrites split RandomIOs by direction.
+	RandomReads  int64
+	RandomWrites int64
 	// BytesRead and BytesWritten are the transferred volumes.
 	BytesRead    int64
 	BytesWritten int64
+	// FilesCreated is the number of intermediate files the run created.
+	FilesCreated int64
 	// ContractionIterations is the number of contraction steps performed
 	// (0 for algorithms that do not contract).
 	ContractionIterations int
 	// Workers is the worker count the run executed with (see WithWorkers).
 	// It never affects the I/O counters above, only Duration.
 	Workers int
+	// Storage names the backend the run executed on ("os", "mem").  Like
+	// Workers it never affects the I/O counters, only Duration.
+	Storage string
 	// Duration is the wall-clock time of the computation.
 	Duration time.Duration
 }
@@ -107,50 +122,39 @@ func (r *Result) LabelMap() (map[NodeID]uint32, error) {
 	return m, nil
 }
 
-// ExportLabels moves the label file out of the run directory to path, so it
-// survives Close.  It renames when source and destination share a
-// filesystem and falls back to a streamed copy (removing the original)
-// otherwise.  On success LabelPath points at the exported file.
+// ExportLabels moves the label file out of the run directory to path — on
+// the run's storage backend — so it survives Close.  It renames when the
+// backend can and falls back to a streamed copy (removing the original)
+// otherwise.  On success LabelPath points at the exported file.  To move a
+// label file from a MemStorage run onto disk, export it and copy the bytes
+// out through the backend (cmd/sccrun -storage=mem -out does exactly that).
 func (r *Result) ExportLabels(path string) error {
 	if r == nil || r.LabelPath == "" {
 		return errors.New("extscc: result has no label file")
 	}
-	if err := os.Rename(r.LabelPath, path); err == nil {
+	backend := r.cfg.Backend()
+	if err := backend.Rename(r.LabelPath, path); err == nil {
 		r.LabelPath = path
 		return nil
 	}
-	src, err := os.Open(r.LabelPath)
-	if err != nil {
-		return fmt.Errorf("extscc: export labels: %w", err)
-	}
-	defer src.Close()
-	dst, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("extscc: export labels: %w", err)
-	}
-	if _, err := io.Copy(dst, src); err != nil {
-		dst.Close()
-		os.Remove(path)
-		return fmt.Errorf("extscc: export labels: %w", err)
-	}
-	if err := dst.Close(); err != nil {
-		os.Remove(path)
+	if err := storage.Copy(backend, path, backend, r.LabelPath); err != nil {
 		return fmt.Errorf("extscc: export labels: %w", err)
 	}
 	// The copy succeeded; drop the original so the run directory does not
 	// keep a second, identical label file around.
-	os.Remove(r.LabelPath)
+	backend.Remove(r.LabelPath)
 	r.LabelPath = path
 	return nil
 }
 
 // Close removes the result's run directory (including LabelPath, unless it
-// was exported).  It is idempotent and safe on a nil receiver.
+// was exported) from the run's storage backend.  It is idempotent and safe
+// on a nil receiver.
 func (r *Result) Close() error {
 	if r == nil || r.runDir == "" {
 		return nil
 	}
 	dir := r.runDir
 	r.runDir = ""
-	return os.RemoveAll(dir)
+	return r.cfg.Backend().RemoveAll(dir)
 }
