@@ -2,8 +2,9 @@
 # be reproduced locally with one command.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race lint bench bench-baseline
+.PHONY: all build test race lint bench bench-baseline fuzz
 
 all: lint test race
 
@@ -21,8 +22,8 @@ race:
 	EXTSCC_STORAGE=os $(GO) test -race -short ./...
 	EXTSCC_STORAGE=mem $(GO) test -race -short ./...
 
-# Mirrors the `lint` job.  staticcheck is skipped when not installed so the
-# target works offline; CI always runs it.
+# Mirrors the `lint` job.  staticcheck and govulncheck are skipped when not
+# installed so the target works offline; CI always runs them.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
@@ -33,15 +34,33 @@ lint:
 	else \
 		echo "staticcheck not installed; skipped (CI runs it; go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; \
 	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipped (CI runs it; go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# Mirrors the fuzz smoke of the `test` job: every codec fuzzer (fixed and
+# varint record codecs plus the garbage-decode robustness fuzzer) runs for
+# FUZZTIME.  `go test -fuzz` takes one target at a time, hence the loop.
+fuzz:
+	@set -e; for f in $$($(GO) test ./internal/record -list 'Fuzz.*' | grep '^Fuzz'); do \
+		echo "fuzzing $$f for $(FUZZTIME)"; \
+		$(GO) test ./internal/record -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME); \
+	done
 
 # Mirrors the `bench` job: quick fig7, workers=1 vs workers=NumCPU, identical
 # SCCs and I/O counts enforced, sequential I/O counts gated against the
-# committed baseline.
+# committed baseline; then the storage-equivalence gate (mem ≡ os) and the
+# codec gate (varint must match the fixed SCC results while cutting bytes
+# written by >= 30% and lowering block I/Os).
 bench:
 	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-workers -workers 0 \
 		-json BENCH_quick.json -csv BENCH_quick.csv \
 		-baseline bench/baseline.json -tolerance 0.25
 	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-storage -workers 1
+	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-codec -workers 1 \
+		-json BENCH_codec.json -csv BENCH_codec.csv
 
 # Refresh the committed baseline after an intentional I/O-count change;
 # commit the resulting bench/baseline.json.

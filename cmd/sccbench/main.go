@@ -16,10 +16,14 @@
 // reports the wall-clock speedup.  -compare-storage does the same across
 // storage backends: it runs the experiment on the OS backend and on the
 // in-memory backend and fails unless both agree on every SCC count and
-// every accounted I/O count (the mem ≡ os equivalence guarantee).  -json
-// writes all measurements as a JSON report; -baseline gates the sequential
-// OS-backend measurements against a committed report and exits non-zero on
-// a regression beyond -tolerance.
+// every accounted I/O count (the mem ≡ os equivalence guarantee).
+// -compare-codec runs the experiment under the fixed and the varint record
+// codecs and fails unless both produce identical SCC results AND the varint
+// codec cuts the bytes written by at least 30% while lowering the block I/O
+// count — compression must pay for itself in the I/O model.  -json writes
+// all measurements as a JSON report; -baseline gates the sequential
+// OS-backend fixed-codec measurements against a committed report and exits
+// non-zero on a regression beyond -tolerance.
 package main
 
 import (
@@ -47,6 +51,8 @@ func main() {
 	compareWorkers := flag.Bool("compare-workers", false, "run sequentially and with -workers workers, verify identical SCCs and I/O counts, report the speedup")
 	storageName := flag.String("storage", "", "storage backend for graphs and intermediates: os (default) or mem (fully in RAM)")
 	compareStorage := flag.Bool("compare-storage", false, "run on the os and mem backends, verify identical SCCs and I/O counts, report the speedup")
+	codecName := flag.String("codec", "", "record codec for intermediate files: fixed (default) or varint (delta+varint compressed frames)")
+	compareCodec := flag.Bool("compare-codec", false, "run with the fixed and varint codecs, verify identical SCCs, and report the byte and block-I/O reduction (fails unless varint cuts bytes written by >= 30% and lowers block I/Os)")
 	jsonPath := flag.String("json", "", "write measurements as a JSON report to this file")
 	baselinePath := flag.String("baseline", "", "gate the workers=1 measurements against this committed JSON report")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional I/O regression against -baseline")
@@ -60,6 +66,18 @@ func main() {
 	}
 	if *compareStorage && *compareWorkers {
 		log.Fatal("-compare-workers and -compare-storage are separate gates; run them as two invocations")
+	}
+	if *compareCodec && (*compareWorkers || *compareStorage) {
+		log.Fatal("-compare-codec is a separate gate; run it as its own invocation")
+	}
+	if *compareCodec && *codecName != "" {
+		log.Fatal("-compare-codec runs both codecs; do not combine it with -codec")
+	}
+	if *baselinePath != "" && *codecName != "" && *codecName != "fixed" {
+		// Committed baselines are recorded under the fixed codec's keys; a
+		// compressing codec intentionally lowers the I/O counts, so gating it
+		// against a fixed baseline would misreport every point as missing.
+		log.Fatalf("-baseline gates the fixed-codec measurements; rerun without -codec=%s (or use -compare-codec, whose fixed half is gated)", *codecName)
 	}
 	backend, err := storage.ByName(*storageName)
 	if err != nil {
@@ -78,8 +96,8 @@ func main() {
 		resolvedWorkers = runtime.GOMAXPROCS(0)
 	}
 
-	runOnce := func(w int, b storage.Backend) ([]bench.Measurement, error) {
-		cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: w, Storage: b}
+	runOnce := func(w int, b storage.Backend, codec string) ([]bench.Measurement, error) {
+		cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: w, Storage: b, Codec: codec}
 		if *experiment == "all" {
 			return bench.RunAll(cfg)
 		}
@@ -92,13 +110,13 @@ func main() {
 	var gateFailures []string
 	var ms []bench.Measurement
 	if *compareWorkers {
-		seq, err := runOnce(1, backend)
+		seq, err := runOnce(1, backend, *codecName)
 		if err != nil {
 			log.Fatal(err)
 		}
 		ms = seq
 		if resolvedWorkers > 1 {
-			par, err := runOnce(resolvedWorkers, backend)
+			par, err := runOnce(resolvedWorkers, backend, *codecName)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -122,11 +140,11 @@ func main() {
 			fmt.Println("worker comparison: only one CPU available, parallel run skipped")
 		}
 	} else if *compareStorage {
-		osMs, err := runOnce(resolvedWorkers, storage.OS())
+		osMs, err := runOnce(resolvedWorkers, storage.OS(), *codecName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		memMs, err := runOnce(resolvedWorkers, storage.NewMem())
+		memMs, err := runOnce(resolvedWorkers, storage.NewMem(), *codecName)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -146,9 +164,41 @@ func main() {
 			fmt.Printf("storage comparison: os took %s, mem took %s (speedup %s); SCCs and I/O counts identical\n",
 				osTotal.Round(time.Millisecond), memTotal.Round(time.Millisecond), speedup)
 		}
+	} else if *compareCodec {
+		fixedMs, err := runOnce(resolvedWorkers, backend, "fixed")
+		if err != nil {
+			log.Fatal(err)
+		}
+		varintMs, err := runOnce(resolvedWorkers, backend, "varint")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms = append(fixedMs, varintMs...)
+		if violations := bench.VerifyCodecEquivalence(ms); len(violations) > 0 {
+			for _, v := range violations {
+				log.Printf("codec-equivalence violation: %s", v)
+			}
+			gateFailures = append(gateFailures,
+				fmt.Sprintf("codec=fixed and codec=varint disagree on %d measurement(s)", len(violations)))
+		}
+		s := bench.CompareCodecs(ms, "fixed", "varint")
+		if s.Points == 0 {
+			gateFailures = append(gateFailures, "codec comparison: no measurement point completed under both codecs")
+		} else {
+			fmt.Printf("codec comparison over %d point(s): bytes written %d -> %d (%.1f%% reduction), block I/Os %d -> %d (%.1f%% reduction)\n",
+				s.Points, s.BaseBytes, s.OtherBytes, s.BytesReduction()*100, s.BaseIOs, s.OtherIOs, s.IOReduction()*100)
+			if s.BytesReduction() < 0.30 {
+				gateFailures = append(gateFailures,
+					fmt.Sprintf("varint codec reduced bytes written by only %.1f%% (gate: >= 30%%)", s.BytesReduction()*100))
+			}
+			if s.OtherIOs >= s.BaseIOs {
+				gateFailures = append(gateFailures,
+					fmt.Sprintf("varint codec did not lower block I/Os (fixed %d, varint %d)", s.BaseIOs, s.OtherIOs))
+			}
+		}
 	} else {
 		var err error
-		ms, err = runOnce(resolvedWorkers, backend)
+		ms, err = runOnce(resolvedWorkers, backend, *codecName)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -170,7 +220,7 @@ func main() {
 		fmt.Printf("CSV written to %s\n", *csvPath)
 	}
 
-	cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: resolvedWorkers, Storage: backend}
+	cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: resolvedWorkers, Storage: backend, Codec: *codecName}
 	report := bench.NewReport(*experiment, cfg, ms)
 	if *jsonPath != "" {
 		if err := report.WriteFile(*jsonPath); err != nil {

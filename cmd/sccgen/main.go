@@ -4,10 +4,15 @@
 // The kinds are the ones accepted by extscc.GeneratorSpec, so a file written
 // here is identical to what extscc.GeneratorSource stages for the engine.
 //
+// Generation is routed through the storage layer, like every other tool of
+// this repository: with -storage=mem the workload is built entirely in the
+// in-memory backend (no scratch disk writes) and the finished edge file is
+// copied onto the local filesystem at -out in one streaming pass.
+//
 // Usage:
 //
 //	sccgen -kind large -scale 1000 -out large.edges
-//	sccgen -kind web -nodes 120000 -out web.edges
+//	sccgen -kind web -nodes 120000 -storage mem -out web.edges
 //	sccgen -kind dag -nodes 50000 -out dag.edges
 package main
 
@@ -16,8 +21,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path"
 
 	"extscc"
+	"extscc/internal/storage"
 )
 
 func main() {
@@ -29,11 +36,16 @@ func main() {
 	nodes := flag.Int("nodes", 0, "override the number of nodes (0 = preset default)")
 	degree := flag.Int("degree", 0, "override the average degree (0 = preset default)")
 	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("out", "", "output edge file (required)")
+	out := flag.String("out", "", "output edge file on the local filesystem (required)")
+	storageName := flag.String("storage", "", "storage backend the generator writes through: os (default; straight to -out) or mem (generate in RAM, then copy the finished file to -out)")
 	flag.Parse()
 
 	if *out == "" {
 		log.Fatal("-out is required")
+	}
+	backend, err := storage.ByName(*storageName)
+	if err != nil {
+		log.Fatal(err)
 	}
 	spec := extscc.GeneratorSpec{
 		Kind:   *kind,
@@ -42,10 +54,25 @@ func main() {
 		Degree: *degree,
 		Seed:   *seed,
 	}
-	written, _, err := spec.WriteEdgeFile(*out)
+
+	// The generator writes through the selected backend; when that backend is
+	// not the local filesystem, the finished file is copied out to -out, the
+	// same export bridge sccrun -storage=mem -out uses.
+	target := *out
+	if backend.Name() != "os" {
+		target = path.Join(backend.TempPath(), "sccgen-output.edges")
+		defer backend.Remove(target)
+	}
+	written, _, err := spec.WriteEdgeFileOn(backend, target)
 	if err != nil {
-		os.Remove(*out)
+		backend.Remove(target)
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %d edges to %s\n", written, *out)
+	if target != *out {
+		if err := storage.Copy(storage.OS(), *out, backend, target); err != nil {
+			os.Remove(*out)
+			log.Fatalf("export generated file to %s: %v", *out, err)
+		}
+	}
+	fmt.Printf("wrote %d edges to %s (%s storage)\n", written, *out, backend.Name())
 }

@@ -38,6 +38,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count for the parallel sorter and overlapped I/O (0 = all CPUs, 1 = sequential)")
 	tempDir := flag.String("tmp", os.TempDir(), "directory for intermediate files")
 	storageName := flag.String("storage", "", "storage backend: os (default; local disk) or mem (diskless: the input is staged into RAM, all intermediates live in RAM, -out copies the labels back to disk)")
+	codecName := flag.String("codec", "", "record codec for intermediate files: fixed (default; byte-identical to the historical layout) or varint (delta+varint compressed frames, fewer bytes and block I/Os)")
 	maxDur := flag.Duration("max-duration", 0, "abort after this duration (0 = unlimited)")
 	maxIOs := flag.Int64("max-ios", 0, "abort after this many block I/Os, for algorithms that support the cap (0 = unlimited)")
 	flag.Parse()
@@ -79,6 +80,7 @@ func main() {
 		extscc.WithWorkers(*workers),
 		extscc.WithTempDir(*tempDir),
 		extscc.WithStorage(backend),
+		extscc.WithCodec(*codecName),
 		extscc.WithMaxIOs(*maxIOs),
 		extscc.WithProgress(func(p extscc.Progress) {
 			fmt.Printf("  iteration %d: |V|=%d |E|=%d removed=%d preserved=%d added=%d\n",
@@ -111,9 +113,9 @@ func main() {
 	if res.Stats.ContractionIterations > 0 {
 		fmt.Printf("contraction iterations: %d\n", res.Stats.ContractionIterations)
 	}
-	fmt.Printf("SCCs: %d\ntime: %s (%d workers, %s storage)\nI/Os: %d (random %d)\nbytes: read %d, written %d\n",
-		res.NumSCCs, res.Stats.Duration.Round(time.Millisecond), res.Stats.Workers, res.Stats.Storage,
-		res.Stats.TotalIOs, res.Stats.RandomIOs, res.Stats.BytesRead, res.Stats.BytesWritten)
+	fmt.Printf("SCCs: %d\ntime: %s (%d workers, %s storage, %s codec)\nI/Os: %d (random %d)\nbytes: read %d, written %d (compression %.2fx)\n",
+		res.NumSCCs, res.Stats.Duration.Round(time.Millisecond), res.Stats.Workers, res.Stats.Storage, res.Stats.Codec,
+		res.Stats.TotalIOs, res.Stats.RandomIOs, res.Stats.BytesRead, res.Stats.BytesWritten, res.Stats.CompressionRatio)
 
 	if *out != "" {
 		if backend.Name() == "os" {

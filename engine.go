@@ -160,6 +160,45 @@ func WithStorage(b Storage) Option {
 	}
 }
 
+// CodecFixed and CodecVarint name the built-in record-codec families
+// accepted by WithCodec.
+const (
+	// CodecFixed is the historical fixed-size record layout, byte-identical
+	// to the files the engine wrote before codecs became pluggable (the
+	// default).
+	CodecFixed = record.FamilyFixed
+	// CodecVarint is the delta+varint block layout: intermediate files are
+	// written as self-describing compressed frames, shrinking every scan,
+	// sort run and merge — and with them the accounted block I/Os.
+	CodecVarint = record.FamilyVarint
+)
+
+// Codecs lists the registered codec family names.
+func Codecs() []string { return record.Families() }
+
+// WithCodec selects the record-codec family every intermediate file of a run
+// is written with: CodecFixed (the default) or CodecVarint.  Readers
+// auto-detect the codec of each file from its self-describing frame header,
+// so inputs written under any family are accepted regardless of this setting.
+//
+// Unlike WithStorage and WithWorkers, the codec intentionally changes the
+// accounted I/O: a compressing codec stores the same records in fewer bytes
+// and therefore fewer blocks.  It never changes the computed labelling — for
+// any workload and configuration, every codec family produces identical SCC
+// labels (the cross-codec equivalence the test suite enforces).  The dfs-scc
+// baseline is the one exception to compression: its random-access adjacency
+// structure requires the fixed layout, so it pins its own files to CodecFixed
+// and only its staged input reflects this option.
+func WithCodec(name string) Option {
+	return func(e *Engine) error {
+		if name != "" && !record.ValidFamily(name) {
+			return fmt.Errorf("extscc: WithCodec(%q): unknown codec family (known: %v)", name, record.Families())
+		}
+		e.base.Codec = name
+		return nil
+	}
+}
+
 // WithProgress installs a callback that receives progress events (one per
 // contraction iteration for the contraction-based algorithms).  The callback
 // runs on the computing goroutine, so cancelling the run's context from
@@ -193,6 +232,7 @@ func New(opts ...Option) (*Engine, error) {
 		NodeBudget: e.base.NodeBudget,
 		TempDir:    e.base.TempDir,
 		Workers:    e.base.Workers,
+		Codec:      e.base.Codec,
 		Storage:    e.base.Storage,
 	}.Validate()
 	if err != nil {
@@ -298,9 +338,11 @@ func (e *Engine) Run(ctx context.Context, src Source) (*Result, error) {
 			BytesRead:             delta.BytesRead,
 			BytesWritten:          delta.BytesWritten,
 			FilesCreated:          delta.FilesCreated,
+			CompressionRatio:      delta.CompressionRatio(),
 			ContractionIterations: ares.Iterations,
 			Workers:               cfg.WorkerCount(),
 			Storage:               cfg.Backend().Name(),
+			Codec:                 cfg.CodecFamily(),
 			Duration:              time.Since(start),
 		},
 		runDir: runDir,

@@ -1,0 +1,154 @@
+package extscc_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"extscc"
+	"extscc/internal/graphgen"
+)
+
+// codecRun executes one algorithm under one codec family and returns the
+// labelling plus the run's Stats.
+func codecRun(t *testing.T, algo, codec string, workers int, edges []extscc.Edge) (map[extscc.NodeID]uint32, extscc.Stats, int64) {
+	t.Helper()
+	eng, err := extscc.New(
+		extscc.WithAlgorithm(algo),
+		extscc.WithCodec(codec),
+		extscc.WithWorkers(workers),
+		extscc.WithMemory(256*1024),
+		extscc.WithBlockSize(4096),
+		extscc.WithNodeBudget(150),
+		extscc.WithMaxIOs(0),
+		extscc.WithTempDir(t.TempDir()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), extscc.SliceSource(edges))
+	if err != nil {
+		t.Fatalf("%s/%s: %v", algo, codec, err)
+	}
+	defer res.Close()
+	if res.Stats.Codec != codec {
+		t.Fatalf("%s: Stats.Codec = %q, want %q", algo, res.Stats.Codec, codec)
+	}
+	m, err := res.LabelMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res.Stats, res.NumSCCs
+}
+
+// sameSCCPartition checks the two labellings induce the same partition (SCC
+// identifiers are opaque, so compare equivalence classes, not raw labels).
+func sameSCCPartition(t *testing.T, a, b map[extscc.NodeID]uint32) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("labellings cover %d vs %d nodes", len(a), len(b))
+	}
+	aToB := map[uint32]uint32{}
+	bToA := map[uint32]uint32{}
+	for n, la := range a {
+		lb, ok := b[n]
+		if !ok {
+			t.Fatalf("node %d missing from second labelling", n)
+		}
+		if mapped, seen := aToB[la]; seen && mapped != lb {
+			t.Fatalf("label %d maps to both %d and %d", la, mapped, lb)
+		}
+		if mapped, seen := bToA[lb]; seen && mapped != la {
+			t.Fatalf("label %d maps back to both %d and %d", lb, mapped, la)
+		}
+		aToB[la] = lb
+		bToA[lb] = la
+	}
+}
+
+// TestCrossCodecEquivalence is the engine-level invariant of the codec
+// layer: every registered algorithm produces the identical SCC partition
+// under every codec family, at workers=1 and at NumCPU, while the varint
+// codec strictly reduces the bytes written and the block I/Os for the
+// scan/sort-based algorithms (dfs-scc pins its own files to the fixed
+// layout, so it only has to agree on the result).
+func TestCrossCodecEquivalence(t *testing.T) {
+	// A workload with non-trivial SCC structure, big enough that edge files
+	// span many 4 KiB blocks and the contraction loop actually iterates.
+	edges := graphgen.Random(600, 2400, 42)
+	workerCounts := []int{1, runtime.NumCPU()}
+	if workerCounts[1] < 2 {
+		workerCounts = workerCounts[:1]
+	}
+
+	for _, algo := range extscc.Algorithms() {
+		name := algo.Name()
+		for _, workers := range workerCounts {
+			fixedLabels, fixedStats, fixedSCCs := codecRun(t, name, extscc.CodecFixed, workers, edges)
+			varLabels, varStats, varSCCs := codecRun(t, name, extscc.CodecVarint, workers, edges)
+
+			if fixedSCCs != varSCCs {
+				t.Fatalf("%s w=%d: NumSCCs %d (fixed) vs %d (varint)", name, workers, fixedSCCs, varSCCs)
+			}
+			sameSCCPartition(t, fixedLabels, varLabels)
+
+			if name == "dfs-scc" {
+				continue // pinned to the fixed layout by design
+			}
+			if varStats.BytesWritten >= fixedStats.BytesWritten {
+				t.Errorf("%s w=%d: varint wrote %d bytes, fixed %d; compression must reduce bytes",
+					name, workers, varStats.BytesWritten, fixedStats.BytesWritten)
+			}
+			if varStats.TotalIOs >= fixedStats.TotalIOs {
+				t.Errorf("%s w=%d: varint charged %d block I/Os, fixed %d; compression must reduce I/Os",
+					name, workers, varStats.TotalIOs, fixedStats.TotalIOs)
+			}
+			if varStats.CompressionRatio <= 1.1 {
+				t.Errorf("%s w=%d: compression ratio %.2f, want > 1.1", name, workers, varStats.CompressionRatio)
+			}
+			if fixedStats.CompressionRatio < 0.99 || fixedStats.CompressionRatio > 1.01 {
+				t.Errorf("%s w=%d: fixed compression ratio %.3f, want ~1.0", name, workers, fixedStats.CompressionRatio)
+			}
+		}
+	}
+}
+
+// TestWorkerEquivalenceUnderVarint extends PR 3's determinism guarantee to
+// the compressed codec: the worker count must not change a varint run's
+// labelling or any accounted I/O counter (frames depend only on the record
+// sequence and block size, which are worker-independent).
+func TestWorkerEquivalenceUnderVarint(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-CPU machine")
+	}
+	edges := graphgen.Random(400, 1600, 7)
+	seqLabels, seqStats, seqSCCs := codecRun(t, "ext-scc-op", extscc.CodecVarint, 1, edges)
+	parLabels, parStats, parSCCs := codecRun(t, "ext-scc-op", extscc.CodecVarint, runtime.NumCPU(), edges)
+	if seqSCCs != parSCCs {
+		t.Fatalf("NumSCCs %d (w=1) vs %d (w=%d)", seqSCCs, parSCCs, runtime.NumCPU())
+	}
+	sameSCCPartition(t, seqLabels, parLabels)
+	if seqStats.TotalIOs != parStats.TotalIOs || seqStats.BytesWritten != parStats.BytesWritten ||
+		seqStats.RandomIOs != parStats.RandomIOs || seqStats.FilesCreated != parStats.FilesCreated {
+		t.Fatalf("varint I/O counters differ across workers: w=1 ios=%d bytes=%d random=%d files=%d; w=%d ios=%d bytes=%d random=%d files=%d",
+			seqStats.TotalIOs, seqStats.BytesWritten, seqStats.RandomIOs, seqStats.FilesCreated,
+			runtime.NumCPU(), parStats.TotalIOs, parStats.BytesWritten, parStats.RandomIOs, parStats.FilesCreated)
+	}
+}
+
+// TestWithCodecValidation rejects unknown codec families at both layers.
+func TestWithCodecValidation(t *testing.T) {
+	if _, err := extscc.New(extscc.WithCodec("zstd")); err == nil {
+		t.Fatal("WithCodec accepted an unknown family")
+	}
+	if _, err := extscc.New(extscc.WithCodec("")); err != nil {
+		t.Fatalf("WithCodec(\"\") must select the default: %v", err)
+	}
+	found := map[string]bool{}
+	for _, name := range extscc.Codecs() {
+		found[name] = true
+	}
+	if !found[extscc.CodecFixed] || !found[extscc.CodecVarint] {
+		t.Fatalf("Codecs() = %v, want fixed and varint", extscc.Codecs())
+	}
+}

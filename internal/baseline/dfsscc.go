@@ -99,6 +99,13 @@ func DFSSCC(ctx context.Context, g edgefile.Graph, dir string, opts DFSOptions, 
 	if err != nil {
 		return nil, err
 	}
+	// External DFS is defined by random access — adjacency lookups binary
+	// search the sorted edge file and the postorder is replayed backwards —
+	// and record seeks only exist on the fixed layout, so the run pins its
+	// own files to the fixed codec whatever the configuration says.  Input
+	// files written under another codec are still read fine (readers
+	// auto-detect), and the paper's cost profile for DFS-SCC is preserved.
+	cfg.Codec = record.FamilyFixed
 	if dir == "" {
 		dir = cfg.TempDir
 	}
@@ -466,13 +473,28 @@ func nextNode(r *recio.Reader[record.NodeID]) (record.NodeID, bool, error) {
 	return n, true, nil
 }
 
-// maxNodeID returns the largest node id in a sorted node file.
+// maxNodeID returns the largest node id in a sorted node file.  A fixed file
+// answers with one seek to the last record; a framed file (the node file may
+// come from an engine run with a compressing codec) is scanned sequentially.
 func maxNodeID(nodePath string, cfg iomodel.Config) (record.NodeID, error) {
 	r, err := recio.NewReader(nodePath, record.NodeCodec{}, cfg)
 	if err != nil {
 		return 0, err
 	}
 	defer r.Close()
+	if r.Framed() {
+		var max record.NodeID
+		for {
+			n, err := r.Read()
+			if err == io.EOF {
+				return max, nil
+			}
+			if err != nil {
+				return 0, err
+			}
+			max = n
+		}
+	}
 	if r.Count() == 0 {
 		return 0, nil
 	}

@@ -232,10 +232,7 @@ func emPartitionPass(edgePath string, partitionEdges int, temp func(string) stri
 	if err := w.Close(); err != nil {
 		return "", 0, err
 	}
-	pairs, err := recio.CountRecords(raw, record.LabelCodec{}, cfg)
-	if err != nil {
-		return "", 0, err
-	}
+	pairs := w.Count()
 	sorted := temp("em-relabel")
 	sorter := extsort.New[record.Label](record.LabelCodec{}, record.LabelByNode, cfg)
 	if err := sorter.SortFile(raw, sorted); err != nil {

@@ -26,29 +26,35 @@ type Report struct {
 
 // ReportEntry is one measurement of a Report.
 type ReportEntry struct {
-	Experiment string `json:"experiment"`
-	X          string `json:"x"`
-	Series     string `json:"series"`
-	Workers    int    `json:"workers"`
-	Storage    string `json:"storage,omitempty"`
-	DurationMS int64  `json:"duration_ms"`
-	TotalIOs   int64  `json:"total_ios"`
-	RandomIOs  int64  `json:"random_ios"`
-	Iterations int    `json:"iterations"`
-	NumSCCs    int64  `json:"num_sccs"`
-	INF        bool   `json:"inf"`
-	Note       string `json:"note,omitempty"`
+	Experiment   string `json:"experiment"`
+	X            string `json:"x"`
+	Series       string `json:"series"`
+	Workers      int    `json:"workers"`
+	Storage      string `json:"storage,omitempty"`
+	Codec        string `json:"codec,omitempty"`
+	DurationMS   int64  `json:"duration_ms"`
+	TotalIOs     int64  `json:"total_ios"`
+	RandomIOs    int64  `json:"random_ios"`
+	BytesRead    int64  `json:"bytes_read,omitempty"`
+	BytesWritten int64  `json:"bytes_written,omitempty"`
+	Iterations   int    `json:"iterations"`
+	NumSCCs      int64  `json:"num_sccs"`
+	INF          bool   `json:"inf"`
+	Note         string `json:"note,omitempty"`
 }
 
 // key identifies a measurement point; workers is part of the identity so a
 // report can hold the same sweep at several worker counts.  A non-default
-// storage backend is part of the identity too, while OS-backend entries keep
-// the historical key so committed baselines recorded before storage became
-// pluggable still match.
+// storage backend or codec family is part of the identity too, while
+// OS-backend fixed-codec entries keep the historical key so committed
+// baselines recorded before storage and codecs became pluggable still match.
 func (e ReportEntry) key() string {
 	k := fmt.Sprintf("%s|%s|%s|w=%d", e.Experiment, e.X, e.Series, e.Workers)
 	if e.Storage != "" && e.Storage != "os" {
 		k += "|s=" + e.Storage
+	}
+	if e.Codec != "" && e.Codec != "fixed" {
+		k += "|c=" + e.Codec
 	}
 	return k
 }
@@ -65,18 +71,21 @@ func NewReport(experiment string, c Config, ms []Measurement) Report {
 	}
 	for _, m := range ms {
 		r.Entries = append(r.Entries, ReportEntry{
-			Experiment: m.Experiment,
-			X:          m.X,
-			Series:     m.Series,
-			Workers:    m.Workers,
-			Storage:    m.Storage,
-			DurationMS: m.Duration.Milliseconds(),
-			TotalIOs:   m.TotalIOs,
-			RandomIOs:  m.RandomIOs,
-			Iterations: m.Iterations,
-			NumSCCs:    m.NumSCCs,
-			INF:        m.INF,
-			Note:       m.Note,
+			Experiment:   m.Experiment,
+			X:            m.X,
+			Series:       m.Series,
+			Workers:      m.Workers,
+			Storage:      m.Storage,
+			Codec:        m.Codec,
+			DurationMS:   m.Duration.Milliseconds(),
+			TotalIOs:     m.TotalIOs,
+			RandomIOs:    m.RandomIOs,
+			BytesRead:    m.BytesRead,
+			BytesWritten: m.BytesWritten,
+			Iterations:   m.Iterations,
+			NumSCCs:      m.NumSCCs,
+			INF:          m.INF,
+			Note:         m.Note,
 		})
 	}
 	return r
@@ -223,6 +232,99 @@ func VerifyStorageEquivalence(ms []Measurement) []string {
 			return fmt.Sprintf("%s|%s|%s|w=%d", m.Experiment, m.X, m.Series, m.Workers)
 		},
 		func(m Measurement) string { return "storage=" + m.Storage })
+}
+
+// VerifyCodecEquivalence checks the result-equivalence guarantee of WithCodec
+// across measurements that hold the same sweep under several codec families:
+// for every (experiment, x, series, workers, storage) point, all codecs must
+// agree on the INF status, the number of SCCs and the iteration count.  The
+// I/O counts are deliberately NOT compared — changing them is what a
+// compressing codec is for; CodecSavings quantifies that change.
+func VerifyCodecEquivalence(ms []Measurement) []string {
+	points := map[string]Measurement{}
+	var violations []string
+	for _, m := range ms {
+		k := fmt.Sprintf("%s|%s|%s|w=%d|s=%s", m.Experiment, m.X, m.Series, m.Workers, m.Storage)
+		ref, ok := points[k]
+		if !ok {
+			points[k] = m
+			continue
+		}
+		if ref.Codec == m.Codec {
+			continue
+		}
+		if ref.INF != m.INF {
+			violations = append(violations, fmt.Sprintf("%s: INF differs between codec=%s and codec=%s", k, ref.Codec, m.Codec))
+			continue
+		}
+		if m.INF {
+			continue
+		}
+		if ref.NumSCCs != m.NumSCCs {
+			violations = append(violations, fmt.Sprintf("%s: SCC count differs between codec=%s (%d) and codec=%s (%d)", k, ref.Codec, ref.NumSCCs, m.Codec, m.NumSCCs))
+		}
+		if ref.Iterations != m.Iterations {
+			violations = append(violations, fmt.Sprintf("%s: iteration count differs between codec=%s (%d) and codec=%s (%d)", k, ref.Codec, ref.Iterations, m.Codec, m.Iterations))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}
+
+// CodecSavings aggregates, over every non-INF point measured under both
+// codec families, the total bytes written and block I/Os of each family.
+// Only points present in both families are summed, so the two sides describe
+// the same workload.
+type CodecSavings struct {
+	BaseBytes, OtherBytes int64
+	BaseIOs, OtherIOs     int64
+	Points                int
+}
+
+// BytesReduction returns the fractional reduction in bytes written of the
+// other family against the base family (0.3 = 30% fewer bytes).
+func (s CodecSavings) BytesReduction() float64 {
+	if s.BaseBytes <= 0 {
+		return 0
+	}
+	return 1 - float64(s.OtherBytes)/float64(s.BaseBytes)
+}
+
+// IOReduction returns the fractional reduction in total block I/Os.
+func (s CodecSavings) IOReduction() float64 {
+	if s.BaseIOs <= 0 {
+		return 0
+	}
+	return 1 - float64(s.OtherIOs)/float64(s.BaseIOs)
+}
+
+// CompareCodecs sums the paired measurements of the two codec families.
+func CompareCodecs(ms []Measurement, baseCodec, otherCodec string) CodecSavings {
+	base := map[string]Measurement{}
+	key := func(m Measurement) string {
+		return fmt.Sprintf("%s|%s|%s|w=%d|s=%s", m.Experiment, m.X, m.Series, m.Workers, m.Storage)
+	}
+	for _, m := range ms {
+		if m.Codec == baseCodec && !m.INF {
+			base[key(m)] = m
+		}
+	}
+	var s CodecSavings
+	for _, m := range ms {
+		if m.Codec != otherCodec || m.INF {
+			continue
+		}
+		b, ok := base[key(m)]
+		if !ok {
+			continue
+		}
+		s.BaseBytes += b.BytesWritten
+		s.OtherBytes += m.BytesWritten
+		s.BaseIOs += b.TotalIOs
+		s.OtherIOs += m.TotalIOs
+		s.Points++
+	}
+	return s
 }
 
 // VerifyWorkerEquivalence checks the core guarantee of WithWorkers across a

@@ -58,11 +58,20 @@ type Measurement struct {
 	// Storage names the backend the run executed on ("os", "mem").  Like
 	// Workers it never changes the accounted I/O counts, only Duration.
 	Storage string
+	// Codec names the record-codec family intermediate files were written
+	// with ("fixed", "varint").  Unlike Workers and Storage it deliberately
+	// changes BytesWritten and the block counts (compression), never the
+	// labelling.
+	Codec string
 	// Duration is the wall-clock time of the run (0 when INF).
 	Duration time.Duration
 	// TotalIOs and RandomIOs are block-transfer counts (0 when INF).
 	TotalIOs  int64
 	RandomIOs int64
+	// BytesRead and BytesWritten are the transferred volumes (0 when INF);
+	// the quantities a compressing codec shrinks.
+	BytesRead    int64
+	BytesWritten int64
 	// Iterations is the number of contraction iterations (Ext-SCC variants).
 	Iterations int
 	// NumSCCs is the number of SCCs found (sanity check across algorithms).
@@ -95,6 +104,11 @@ type Config struct {
 	// process default, normally the OS backend).  The measured I/O counts
 	// are identical on every backend; only the wall-clock changes.
 	Storage storage.Backend
+	// Codec is the record-codec family intermediate files are written with
+	// ("" = fixed, the paper's reference layout).  A compressing codec
+	// lowers BytesWritten and the block counts without changing any SCC
+	// result.
+	Codec string
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +143,7 @@ func (c Config) ioConfig(nodeBudget int64) iomodel.Config {
 		NodeBudget: nodeBudget,
 		TempDir:    c.TempDir,
 		Workers:    c.resolvedWorkers(),
+		Codec:      c.Codec,
 		Storage:    c.Storage,
 		Stats:      &iomodel.Stats{},
 	}
@@ -303,6 +318,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 		extscc.WithWorkers(c.resolvedWorkers()),
 		extscc.WithTempDir(c.TempDir),
 		extscc.WithStorage(backend),
+		extscc.WithCodec(c.Codec),
 	}
 	ctx := context.Background()
 	if budgeted {
@@ -328,22 +344,25 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 	res, err := eng.Run(ctx, extscc.PreparedSource(g.EdgePath, g.NodePath, g.NumNodes, g.NumEdges))
 	switch {
 	case errors.Is(err, extscc.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded):
-		return Measurement{Experiment: experiment, Series: series, X: x, Workers: c.resolvedWorkers(), Storage: backend.Name(), INF: true, Note: "exceeded budget"}, nil
+		return Measurement{Experiment: experiment, Series: series, X: x, Workers: c.resolvedWorkers(), Storage: backend.Name(), Codec: c.ioConfig(0).CodecFamily(), INF: true, Note: "exceeded budget"}, nil
 	case err != nil:
 		return Measurement{}, err
 	}
 	defer res.Close()
 	return Measurement{
-		Experiment: experiment,
-		Series:     series,
-		X:          x,
-		Workers:    res.Stats.Workers,
-		Storage:    res.Stats.Storage,
-		Duration:   res.Stats.Duration,
-		TotalIOs:   res.Stats.TotalIOs,
-		RandomIOs:  res.Stats.RandomIOs,
-		Iterations: res.Stats.ContractionIterations,
-		NumSCCs:    res.NumSCCs,
+		Experiment:   experiment,
+		Series:       series,
+		X:            x,
+		Workers:      res.Stats.Workers,
+		Storage:      res.Stats.Storage,
+		Codec:        res.Stats.Codec,
+		Duration:     res.Stats.Duration,
+		TotalIOs:     res.Stats.TotalIOs,
+		RandomIOs:    res.Stats.RandomIOs,
+		BytesRead:    res.Stats.BytesRead,
+		BytesWritten: res.Stats.BytesWritten,
+		Iterations:   res.Stats.ContractionIterations,
+		NumSCCs:      res.NumSCCs,
 	}, nil
 }
 
@@ -358,16 +377,19 @@ func runExt(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64, 
 	}
 	defer res.Cleanup()
 	return Measurement{
-		Experiment: experiment,
-		Series:     series,
-		X:          x,
-		Workers:    cfg.WorkerCount(),
-		Storage:    cfg.Backend().Name(),
-		Duration:   res.Duration,
-		TotalIOs:   res.IO.TotalIOs(),
-		RandomIOs:  res.IO.RandomIOs(),
-		Iterations: len(res.Iterations),
-		NumSCCs:    res.NumSCCs,
+		Experiment:   experiment,
+		Series:       series,
+		X:            x,
+		Workers:      cfg.WorkerCount(),
+		Storage:      cfg.Backend().Name(),
+		Codec:        cfg.CodecFamily(),
+		Duration:     res.Duration,
+		TotalIOs:     res.IO.TotalIOs(),
+		RandomIOs:    res.IO.RandomIOs(),
+		BytesRead:    res.IO.BytesRead,
+		BytesWritten: res.IO.BytesWritten,
+		Iterations:   len(res.Iterations),
+		NumSCCs:      res.NumSCCs,
 	}, nil
 }
 
@@ -591,23 +613,26 @@ func emscc(c Config) ([]Measurement, error) {
 			MaxIterations:  16,
 		}, cfg)
 		if errors.Is(err, context.DeadlineExceeded) {
-			out = append(out, Measurement{Experiment: "emscc", Series: AlgoEM, X: x, Workers: cfg.WorkerCount(), Storage: cfg.Backend().Name(), INF: true, Note: "exceeded budget"})
+			out = append(out, Measurement{Experiment: "emscc", Series: AlgoEM, X: x, Workers: cfg.WorkerCount(), Storage: cfg.Backend().Name(), Codec: cfg.CodecFamily(), INF: true, Note: "exceeded budget"})
 			return nil
 		}
 		if err != nil {
 			return err
 		}
 		m := Measurement{
-			Experiment: "emscc",
-			Series:     AlgoEM,
-			X:          x,
-			Workers:    cfg.WorkerCount(),
-			Storage:    cfg.Backend().Name(),
-			Duration:   res.Duration,
-			TotalIOs:   res.IO.TotalIOs(),
-			RandomIOs:  res.IO.RandomIOs(),
-			Iterations: res.Iterations,
-			NumSCCs:    res.NumSCCs,
+			Experiment:   "emscc",
+			Series:       AlgoEM,
+			X:            x,
+			Workers:      cfg.WorkerCount(),
+			Storage:      cfg.Backend().Name(),
+			Codec:        cfg.CodecFamily(),
+			Duration:     res.Duration,
+			TotalIOs:     res.IO.TotalIOs(),
+			RandomIOs:    res.IO.RandomIOs(),
+			BytesRead:    res.IO.BytesRead,
+			BytesWritten: res.IO.BytesWritten,
+			Iterations:   res.Iterations,
+			NumSCCs:      res.NumSCCs,
 		}
 		if !res.Converged {
 			m.INF = true
@@ -716,13 +741,13 @@ func FormatTable(ms []Measurement) string {
 
 // WriteCSV writes measurements as CSV for plotting.
 func WriteCSV(w io.Writer, ms []Measurement) error {
-	if _, err := fmt.Fprintln(w, "experiment,x,algorithm,workers,storage,duration_ms,total_ios,random_ios,iterations,num_sccs,inf,note"); err != nil {
+	if _, err := fmt.Fprintln(w, "experiment,x,algorithm,workers,storage,codec,duration_ms,total_ios,random_ios,bytes_read,bytes_written,iterations,num_sccs,inf,note"); err != nil {
 		return err
 	}
 	for _, m := range ms {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%d,%d,%d,%d,%d,%t,%q\n",
-			m.Experiment, m.X, m.Series, m.Workers, m.Storage, m.Duration.Milliseconds(), m.TotalIOs, m.RandomIOs,
-			m.Iterations, m.NumSCCs, m.INF, m.Note); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%d,%d,%d,%d,%d,%d,%d,%t,%q\n",
+			m.Experiment, m.X, m.Series, m.Workers, m.Storage, m.Codec, m.Duration.Milliseconds(), m.TotalIOs, m.RandomIOs,
+			m.BytesRead, m.BytesWritten, m.Iterations, m.NumSCCs, m.INF, m.Note); err != nil {
 			return err
 		}
 	}

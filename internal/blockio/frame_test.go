@@ -1,0 +1,56 @@
+package blockio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	h := FrameHeader{Codec: 4, Count: 123456, Payload: 987654}
+	buf := make([]byte, FrameHeaderSize)
+	PutFrameHeader(buf, h)
+	if !HasFrameMagic(buf) {
+		t.Fatal("encoded header does not carry the frame magic")
+	}
+	got, err := ParseFrameHeader(buf)
+	if err != nil {
+		t.Fatalf("ParseFrameHeader: %v", err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+func TestParseFrameHeaderRejects(t *testing.T) {
+	buf := make([]byte, FrameHeaderSize)
+	PutFrameHeader(buf, FrameHeader{Codec: 1, Count: 1, Payload: 1})
+
+	if _, err := ParseFrameHeader(buf[:FrameHeaderSize-1]); err == nil {
+		t.Fatal("short header parsed without error")
+	}
+
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xFF
+	if _, err := ParseFrameHeader(bad); err == nil {
+		t.Fatal("bad magic parsed without error")
+	}
+	if HasFrameMagic(bad) {
+		t.Fatal("HasFrameMagic accepted a corrupted magic")
+	}
+
+	future := append([]byte(nil), buf...)
+	future[4] = FrameVersion + 1
+	_, err := ParseFrameHeader(future)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: got %v, want a version error", err)
+	}
+}
+
+// TestFixedFilesLackMagic pins that ordinary fixed-codec record data (small
+// little-endian node ids) never matches the frame magic, which is what makes
+// the reader's layout sniffing safe for the pipeline's own files.
+func TestFixedFilesLackMagic(t *testing.T) {
+	if HasFrameMagic([]byte{0, 0, 0, 0}) || HasFrameMagic([]byte{0xFF, 0xFF, 0xFF, 0x7F}) {
+		t.Fatal("plain record bytes misdetected as a frame")
+	}
+}

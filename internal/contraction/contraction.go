@@ -144,11 +144,7 @@ func (c *contractor) run() (Result, error) {
 	}
 
 	// Step 4: V_{i+1}, the vertex cover of (the Type-1-trimmed) G_i.
-	coverPath, err := c.buildCover(ed)
-	if err != nil {
-		return Result{}, err
-	}
-	numCover, err := recio.CountRecords(coverPath, record.NodeCodec{}, c.cfg)
+	coverPath, numCover, err := c.buildCover(ed)
 	if err != nil {
 		return Result{}, err
 	}
@@ -332,17 +328,18 @@ func (c *contractor) joinEdgesWithDegrees(edgePath, vdPath, outPath string, byTa
 
 // buildCover scans E_d once, adds the greater endpoint of every edge to the
 // cover (lines 8-9 of Algorithm 3, with the Type-2 dictionary of Section VII
-// in optimised mode), then sorts and deduplicates the cover node list.
-func (c *contractor) buildCover(ed string) (string, error) {
+// in optimised mode), then sorts and deduplicates the cover node list.  It
+// returns the cover file and |V_{i+1}|.
+func (c *contractor) buildCover(ed string) (string, int64, error) {
 	r, err := recio.NewReader(ed, record.EdgeAugCodec{}, c.cfg)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	defer r.Close()
 	raw := c.temp("cover-raw")
 	w, err := recio.NewWriter(raw, record.NodeCodec{}, c.cfg)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 
 	var dict *type2Dict
@@ -366,12 +363,12 @@ func (c *contractor) buildCover(ed string) (string, error) {
 		}
 		if err != nil {
 			w.Close()
-			return "", err
+			return "", 0, err
 		}
 		if scanned++; scanned%checkEvery == 0 {
 			if err := c.ctx.Err(); err != nil {
 				w.Close()
-				return "", err
+				return "", 0, err
 			}
 		}
 		if rec.U == rec.V {
@@ -399,23 +396,24 @@ func (c *contractor) buildCover(ed string) (string, error) {
 		}
 		if err := w.Write(cover); err != nil {
 			w.Close()
-			return "", err
+			return "", 0, err
 		}
 	}
 	if err := w.Close(); err != nil {
-		return "", err
+		return "", 0, err
 	}
 
 	sorted := c.temp("cover-sorted")
 	sorter := extsort.NewContext[record.NodeID](c.ctx, record.NodeCodec{}, record.NodeLess, c.cfg)
 	if err := sorter.SortFile(raw, sorted); err != nil {
-		return "", err
+		return "", 0, err
 	}
 	cover := c.temp("cover")
-	if _, err := edgefile.DedupeNodes(sorted, cover, c.cfg); err != nil {
-		return "", err
+	numCover, err := edgefile.DedupeNodes(sorted, cover, c.cfg)
+	if err != nil {
+		return "", 0, err
 	}
-	return cover, nil
+	return cover, numCover, nil
 }
 
 // projectTrimmed projects E_d back to plain edges, producing the trimmed edge
@@ -596,11 +594,7 @@ func (c *contractor) buildEadd(baseEin, baseEout, coverPath string) (string, int
 	if err := w.Close(); err != nil {
 		return "", 0, 0, err
 	}
-	n, err := recio.CountRecords(eadd, record.EdgeCodec{}, c.cfg)
-	if err != nil {
-		return "", 0, 0, err
-	}
-	return eadd, n, maxRemovedDeg, nil
+	return eadd, w.Count(), maxRemovedDeg, nil
 }
 
 // ---------------------------------------------------------------------------

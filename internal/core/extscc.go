@@ -196,6 +196,11 @@ func run(ctx context.Context, g edgefile.Graph, runDir string, opts Options, cfg
 	}
 	result.SemiExternal = semiRes
 	labels := semiRes.LabelPath
+	// The solver reports how many labels it actually wrote, and each
+	// expansion step reports its written |V_i| count; carrying the produced
+	// counts forward keeps the completeness check below meaningful without a
+	// counting scan of the (possibly compressed) final label file.
+	numLabels := semiRes.NumLabels
 
 	// Graph-expansion phase (Algorithm 2, lines 6-9): add the removed nodes
 	// back in reverse order of removal.
@@ -215,13 +220,10 @@ func run(ctx context.Context, g edgefile.Graph, runDir string, opts Options, cfg
 			blockio.Remove(labels, cfg)
 		}
 		labels = eres.LabelPath
+		numLabels = eres.NumLabels
 	}
 
 	numSCCs, err := semiscc.CountSCCsInFile(labels, cfg)
-	if err != nil {
-		return nil, err
-	}
-	numLabels, err := recio.CountRecords(labels, record.LabelCodec{}, cfg)
 	if err != nil {
 		return nil, err
 	}

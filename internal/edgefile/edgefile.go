@@ -3,10 +3,12 @@
 // anti-joins, degree aggregation, edge reversal and deduplication) that the
 // paper's Algorithms 3, 4 and 5 are expressed in.
 //
-// A graph G_i(V_i, E_i) is stored as two files: an edge file of fixed-size
-// (u, v) records and a node file of sorted node identifiers.  The node file is
-// explicit because isolated nodes carry no edges yet still need an SCC label,
-// and because the contraction phase needs V_i - V_{i+1}.
+// A graph G_i(V_i, E_i) is stored as two files: an edge file of (u, v)
+// records and a node file of sorted node identifiers, each laid out by the
+// run's codec family (fixed records or compressed frames; readers
+// auto-detect, see package recio).  The node file is explicit because
+// isolated nodes carry no edges yet still need an SCC label, and because the
+// contraction phase needs V_i - V_{i+1}.
 package edgefile
 
 import (

@@ -1,5 +1,8 @@
 // Package extsort implements a memory-bounded, I/O-accounted external merge
-// sort over files of fixed-size records.  It is the sort(m) primitive of the
+// sort over record files.  Runs and merge outputs are written through
+// package recio, so they inherit the run's codec family: under a compressing
+// codec every run and every merge pass occupies fewer blocks, and the sort
+// charges correspondingly fewer I/Os.  It is the sort(m) primitive of the
 // paper's cost model: run formation uses at most the configured memory budget
 // and the k-way merge fan-in is derived from M/B, so the number of merge
 // passes matches Theta(log_{M/B}(m/B)).

@@ -466,3 +466,58 @@ func TestParallelSortEmptyAndTinyInputs(t *testing.T) {
 		sortAndVerify(t, cfg, randomEdges(n, rng))
 	}
 }
+
+// TestSortFileVarintCodec sorts under the varint codec family: runs and
+// merges are written as compressed frames, the sorted record sequence is
+// identical to the fixed codec's, and the sort charges fewer block I/Os.
+func TestSortFileVarintCodec(t *testing.T) {
+	edges := make([]record.Edge, 5000)
+	rng := uint32(12345)
+	for i := range edges {
+		rng = rng*1664525 + 1013904223
+		edges[i] = record.Edge{U: rng % 4096, V: (rng >> 12) % 4096}
+	}
+
+	sortUnder := func(codec string) ([]record.Edge, int64) {
+		cfg := iomodel.Config{
+			BlockSize: 4096,
+			Memory:    16 * 1024,
+			TempDir:   t.TempDir(),
+			Codec:     codec,
+			Stats:     &iomodel.Stats{},
+		}
+		in := filepath.Join(t.TempDir(), "in.bin")
+		out := filepath.Join(t.TempDir(), "out.bin")
+		if err := recio.WriteSlice(in, record.EdgeCodec{}, cfg, edges); err != nil {
+			t.Fatal(err)
+		}
+		base := cfg.Stats.Snapshot()
+		if err := New[record.Edge](record.EdgeCodec{}, record.EdgeBySource, cfg).SortFile(in, out); err != nil {
+			t.Fatal(err)
+		}
+		ios := cfg.Stats.Snapshot().Sub(base).TotalIOs()
+		sorted, err := recio.ReadAll(out, record.EdgeCodec{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := Sorted(out, record.EdgeCodec{}, record.EdgeBySource, cfg)
+		if err != nil || !ok {
+			t.Fatalf("output not sorted (err=%v)", err)
+		}
+		return sorted, ios
+	}
+
+	fixedSorted, fixedIOs := sortUnder(record.FamilyFixed)
+	varSorted, varIOs := sortUnder(record.FamilyVarint)
+	if len(fixedSorted) != len(varSorted) {
+		t.Fatalf("sorted %d records under fixed, %d under varint", len(fixedSorted), len(varSorted))
+	}
+	for i := range fixedSorted {
+		if fixedSorted[i] != varSorted[i] {
+			t.Fatalf("record %d differs: %+v (fixed) vs %+v (varint)", i, fixedSorted[i], varSorted[i])
+		}
+	}
+	if varIOs >= fixedIOs {
+		t.Fatalf("varint sort charged %d I/Os, fixed %d; compressed runs must cost fewer blocks", varIOs, fixedIOs)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"extscc/internal/record"
 	"extscc/internal/storage"
 )
 
@@ -60,6 +61,16 @@ type Config struct {
 	// of the worker count, so every Stats counter matches the sequential run
 	// exactly (see package extsort).
 	Workers int
+	// Codec names the record-codec family every intermediate file of the run
+	// is written with ("" and record.FamilyFixed both select the historical
+	// fixed-size layout; record.FamilyVarint selects the delta+varint block
+	// layout).  Readers auto-detect the codec of each file from its frame
+	// header, so the setting only steers writers: mixing inputs written under
+	// a different family is always safe.  The codec changes the number of
+	// bytes — and therefore blocks — a file occupies, so unlike Storage and
+	// Workers it intentionally changes the accounted I/O counts; it never
+	// changes any computed labelling.
+	Codec string
 	// Storage is the backend every file of the run lives on.  nil selects
 	// the process default (the OS backend, unless the EXTSCC_STORAGE
 	// environment variable overrides it; see storage.Default).  The backend
@@ -98,6 +109,9 @@ func (c Config) Validate() (Config, error) {
 	if c.Workers < 0 {
 		return c, fmt.Errorf("iomodel: negative worker count %d", c.Workers)
 	}
+	if c.Codec != "" && !record.ValidFamily(c.Codec) {
+		return c, fmt.Errorf("iomodel: unknown codec family %q (known: %v)", c.Codec, record.Families())
+	}
 	if c.Stats == nil {
 		c.Stats = &Stats{}
 	}
@@ -114,6 +128,15 @@ func (c Config) Backend() storage.Backend {
 		return c.Storage
 	}
 	return storage.Default()
+}
+
+// CodecFamily returns the effective record-codec family of the configuration
+// (record.FamilyFixed when the Codec field was left empty).
+func (c Config) CodecFamily() string {
+	if c.Codec == "" {
+		return record.FamilyFixed
+	}
+	return c.Codec
 }
 
 // WorkerCount returns the effective worker count: at least 1.
@@ -190,6 +213,7 @@ type Stats struct {
 	randomWrites     atomic.Int64
 	bytesRead        atomic.Int64
 	bytesWritten     atomic.Int64
+	logicalWritten   atomic.Int64
 	filesCreated     atomic.Int64
 	sortRuns         atomic.Int64
 	mergePasses      atomic.Int64
@@ -223,6 +247,17 @@ func (s *Stats) CountWrite(n int, random bool) {
 	if random {
 		s.randomWrites.Add(1)
 	}
+}
+
+// CountLogicalWrite records n logical record bytes accepted by a record
+// writer: the fixed-layout size of the records regardless of the codec that
+// laid them out on disk.  The ratio logical/physical is the run's compression
+// ratio (1.0 under the fixed codec, higher when a codec shrinks the files).
+func (s *Stats) CountLogicalWrite(n int64) {
+	if s == nil {
+		return
+	}
+	s.logicalWritten.Add(n)
 }
 
 // CountFile records the creation of an intermediate file.
@@ -283,6 +318,7 @@ type Snapshot struct {
 	RandomWrites     int64
 	BytesRead        int64
 	BytesWritten     int64
+	LogicalWritten   int64
 	FilesCreated     int64
 	SortRuns         int64
 	MergePasses      int64
@@ -304,6 +340,7 @@ func (s *Stats) Snapshot() Snapshot {
 		RandomWrites:     s.randomWrites.Load(),
 		BytesRead:        s.bytesRead.Load(),
 		BytesWritten:     s.bytesWritten.Load(),
+		LogicalWritten:   s.logicalWritten.Load(),
 		FilesCreated:     s.filesCreated.Load(),
 		SortRuns:         s.sortRuns.Load(),
 		MergePasses:      s.mergePasses.Load(),
@@ -328,6 +365,16 @@ func (sn Snapshot) TotalIOs() int64 { return sn.ReadBlocks + sn.WriteBlocks }
 // RandomIOs returns the total number of random block transfers.
 func (sn Snapshot) RandomIOs() int64 { return sn.RandomReads + sn.RandomWrites }
 
+// CompressionRatio returns logical record bytes divided by physical bytes
+// written: 1.0 under the fixed codec, above 1.0 when a codec shrank the
+// files, and 0 when nothing was written.
+func (sn Snapshot) CompressionRatio() float64 {
+	if sn.BytesWritten <= 0 || sn.LogicalWritten <= 0 {
+		return 0
+	}
+	return float64(sn.LogicalWritten) / float64(sn.BytesWritten)
+}
+
 // Sub returns the component-wise difference sn - other, useful for measuring
 // the cost of a single phase.
 func (sn Snapshot) Sub(other Snapshot) Snapshot {
@@ -338,6 +385,7 @@ func (sn Snapshot) Sub(other Snapshot) Snapshot {
 		RandomWrites:     sn.RandomWrites - other.RandomWrites,
 		BytesRead:        sn.BytesRead - other.BytesRead,
 		BytesWritten:     sn.BytesWritten - other.BytesWritten,
+		LogicalWritten:   sn.LogicalWritten - other.LogicalWritten,
 		FilesCreated:     sn.FilesCreated - other.FilesCreated,
 		SortRuns:         sn.SortRuns - other.SortRuns,
 		MergePasses:      sn.MergePasses - other.MergePasses,
@@ -357,6 +405,7 @@ func (sn Snapshot) Add(other Snapshot) Snapshot {
 		RandomWrites:     sn.RandomWrites + other.RandomWrites,
 		BytesRead:        sn.BytesRead + other.BytesRead,
 		BytesWritten:     sn.BytesWritten + other.BytesWritten,
+		LogicalWritten:   sn.LogicalWritten + other.LogicalWritten,
 		FilesCreated:     sn.FilesCreated + other.FilesCreated,
 		SortRuns:         sn.SortRuns + other.SortRuns,
 		MergePasses:      sn.MergePasses + other.MergePasses,

@@ -1,0 +1,417 @@
+package recio
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"extscc/internal/iomodel"
+	"extscc/internal/record"
+)
+
+// varintConfig is testConfig with the varint codec family selected.
+func varintConfig(t *testing.T) iomodel.Config {
+	t.Helper()
+	cfg := testConfig(t)
+	cfg.Codec = record.FamilyVarint
+	return cfg
+}
+
+// makeEdges builds n edges sorted by source with small gaps — the shape of a
+// sorted run, where delta encoding shines.
+func makeEdges(n int) []record.Edge {
+	edges := make([]record.Edge, n)
+	for i := range edges {
+		edges[i] = record.Edge{U: uint32(i / 4), V: uint32(i % 7 * 3)}
+	}
+	return edges
+}
+
+// TestFramedRoundTrip writes with the varint family and reads the records
+// back, across several frames and block boundaries (frameCap under the tiny
+// 64-byte test block is small, so even 500 records span many frames).
+func TestFramedRoundTrip(t *testing.T) {
+	cfg := varintConfig(t)
+	path := filepath.Join(t.TempDir(), "framed.bin")
+	edges := makeEdges(500)
+
+	w, err := NewWriter(path, record.EdgeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Framed() {
+		t.Fatal("varint config produced an unframed writer")
+	}
+	for _, e := range edges {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(path, record.EdgeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Framed() {
+		t.Fatal("framed file not detected")
+	}
+	if r.Count() != -1 {
+		t.Fatalf("framed Count = %d, want -1", r.Count())
+	}
+	for i, want := range edges {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestAutoDetectWithFixedConfig reads a framed file under a fixed-codec
+// configuration (and vice versa): the reader dispatches on the file, not the
+// config, so codec families mix freely within one run.
+func TestAutoDetectWithFixedConfig(t *testing.T) {
+	fixedCfg := testConfig(t)
+	varCfg := varintConfig(t)
+	edges := makeEdges(100)
+
+	framed := filepath.Join(t.TempDir(), "framed.bin")
+	if err := WriteSlice(framed, record.EdgeCodec{}, varCfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(framed, record.EdgeCodec{}, fixedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) || got[42] != edges[42] {
+		t.Fatalf("framed file misread under fixed config: %d records", len(got))
+	}
+
+	raw := filepath.Join(t.TempDir(), "raw.bin")
+	if err := WriteSlice(raw, record.EdgeCodec{}, fixedCfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAll(raw, record.EdgeCodec{}, varCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) || got[42] != edges[42] {
+		t.Fatalf("fixed file misread under varint config: %d records", len(got))
+	}
+}
+
+// TestVarintShrinksFileAndIOs pins the point of the codec layer: the same
+// records occupy fewer bytes, fewer blocks, and fewer accounted write I/Os.
+func TestVarintShrinksFileAndIOs(t *testing.T) {
+	edges := makeEdges(2000)
+
+	write := func(cfg iomodel.Config, path string) (int64, int64) {
+		if err := WriteSlice(path, record.EdgeCodec{}, cfg, edges); err != nil {
+			t.Fatal(err)
+		}
+		f, err := cfg.Backend().Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		size, err := f.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return size, cfg.Stats.Snapshot().WriteBlocks
+	}
+
+	// A realistic block size: with the 64-byte test block a frame holds only
+	// a handful of records and the 14-byte headers dominate.
+	fixedCfg := testConfig(t)
+	fixedCfg.BlockSize, fixedCfg.Memory = 4096, 64*1024
+	fixedSize, fixedWrites := write(fixedCfg, filepath.Join(t.TempDir(), "fixed.bin"))
+	varCfg := varintConfig(t)
+	varCfg.BlockSize, varCfg.Memory = 4096, 64*1024
+	varSize, varWrites := write(varCfg, filepath.Join(t.TempDir(), "varint.bin"))
+
+	if fixedSize != int64(len(edges))*8 {
+		t.Fatalf("fixed file is %d bytes, want %d", fixedSize, len(edges)*8)
+	}
+	if varSize*2 > fixedSize {
+		t.Fatalf("varint file is %d bytes vs fixed %d; want at least 2x smaller", varSize, fixedSize)
+	}
+	if varWrites >= fixedWrites {
+		t.Fatalf("varint charged %d write I/Os, fixed %d; compression must reduce block writes", varWrites, fixedWrites)
+	}
+
+	// Logical volume is codec-independent, so the compression ratio reflects
+	// the physical shrink.
+	if r := fixedCfg.Stats.Snapshot().CompressionRatio(); r < 0.99 || r > 1.01 {
+		t.Fatalf("fixed compression ratio = %.3f, want ~1.0", r)
+	}
+	if r := varCfg.Stats.Snapshot().CompressionRatio(); r < 2 {
+		t.Fatalf("varint compression ratio = %.3f, want >= 2", r)
+	}
+}
+
+// TestFixedLayoutIsByteIdentical pins backward compatibility: under the
+// fixed family (and under the default config) the produced file is exactly
+// the concatenation of the per-record encodings — the pre-codec format.
+func TestFixedLayoutIsByteIdentical(t *testing.T) {
+	cfg := testConfig(t)
+	path := filepath.Join(t.TempDir(), "fixed.bin")
+	labels := []record.Label{{Node: 7, SCC: 3}, {Node: 9, SCC: 3}, {Node: 11, SCC: 11}}
+	if err := WriteSlice(path, record.LabelCodec{}, cfg, labels); err != nil {
+		t.Fatal(err)
+	}
+
+	var want []byte
+	codec := record.LabelCodec{}
+	buf := make([]byte, codec.Size())
+	for _, l := range labels {
+		codec.Encode(l, buf)
+		want = append(want, buf...)
+	}
+
+	f, err := cfg.Backend().Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got := make([]byte, len(want)+1)
+	n, err := f.ReadAt(got, 0)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("file has %d bytes, want %d", n, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFramedSeekFails pins that record seeks are a fixed-layout feature.
+func TestFramedSeekFails(t *testing.T) {
+	cfg := varintConfig(t)
+	path := filepath.Join(t.TempDir(), "framed.bin")
+	if err := WriteSlice(path, record.EdgeCodec{}, cfg, makeEdges(50)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(path, record.EdgeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.SeekTo(10); err == nil {
+		t.Fatal("SeekTo on a framed file succeeded")
+	}
+}
+
+// TestCountRecordsFramed counts a framed file by scanning its frame headers.
+func TestCountRecordsFramed(t *testing.T) {
+	cfg := varintConfig(t)
+	path := filepath.Join(t.TempDir(), "framed.bin")
+	if err := WriteSlice(path, record.EdgeCodec{}, cfg, makeEdges(333)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountRecords(path, record.EdgeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 333 {
+		t.Fatalf("CountRecords = %d, want 333", n)
+	}
+}
+
+// TestFramedEmptyFile: a varint writer that never received a record produces
+// an empty file, which reads back as zero records under any config.
+func TestFramedEmptyFile(t *testing.T) {
+	cfg := varintConfig(t)
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	if err := WriteSlice(path, record.EdgeCodec{}, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path, record.EdgeCodec{}, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty, got %d records", len(got))
+	}
+}
+
+// TestFramedWrongType: opening a framed file under the wrong record type
+// must fail at open (the codec ID in the frame header disagrees).
+func TestFramedWrongType(t *testing.T) {
+	cfg := varintConfig(t)
+	path := filepath.Join(t.TempDir(), "edges.bin")
+	if err := WriteSlice(path, record.EdgeCodec{}, cfg, makeEdges(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(path, record.LabelCodec{}, cfg); err == nil {
+		t.Fatal("edge file opened as a label file")
+	}
+}
+
+// TestFramedTruncatedPayload: cutting a framed file mid-payload surfaces a
+// clear error instead of silent record loss.
+func TestFramedTruncatedPayload(t *testing.T) {
+	cfg := varintConfig(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "framed.bin")
+	if err := WriteSlice(path, record.EdgeCodec{}, cfg, makeEdges(50)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := cfg.Backend().Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size-3)
+	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	f.Close()
+	cut := filepath.Join(dir, "cut.bin")
+	cf, err := cfg.Backend().Create(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(cut, record.EdgeCodec{}, cfg); err == nil {
+		t.Fatal("truncated framed file read without error")
+	}
+}
+
+// TestNewWriterFamilyOverride: an explicit fixed family wins over a varint
+// config — the escape hatch operators with random-access needs use.
+func TestNewWriterFamilyOverride(t *testing.T) {
+	cfg := varintConfig(t)
+	path := filepath.Join(t.TempDir(), "forced-fixed.bin")
+	w, err := NewWriterFamily(path, record.EdgeCodec{}, cfg, record.FamilyFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Framed() {
+		t.Fatal("explicit fixed family produced a framed writer")
+	}
+	edges := makeEdges(20)
+	for _, e := range edges {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(path, record.EdgeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Framed() {
+		t.Fatal("forced-fixed file detected as framed")
+	}
+	if err := r.SeekTo(5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != edges[5] {
+		t.Fatalf("SeekTo(5) read %+v, want %+v", got, edges[5])
+	}
+}
+
+// TestTinyFixedFileSniff: files shorter than a frame header (a single node
+// record is 4 bytes) must still read correctly through the sniffing path.
+func TestTinyFixedFileSniff(t *testing.T) {
+	cfg := testConfig(t)
+	path := filepath.Join(t.TempDir(), "tiny.bin")
+	if err := WriteSlice(path, record.NodeCodec{}, cfg, []record.NodeID{99}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path, record.NodeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 99 {
+		t.Fatalf("tiny file read %v", got)
+	}
+}
+
+// TestFixedSeekAfterSniff: the sniffed head bytes must not break record
+// seeks on fixed files (SeekTo discards the head buffer).
+func TestFixedSeekAfterSniff(t *testing.T) {
+	cfg := testConfig(t)
+	path := filepath.Join(t.TempDir(), "seek.bin")
+	nodes := make([]record.NodeID, 64)
+	for i := range nodes {
+		nodes[i] = uint32(i * 10)
+	}
+	if err := WriteSlice(path, record.NodeCodec{}, cfg, nodes); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(path, record.NodeCodec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Read one record out of the sniffed head, then seek backwards over it.
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SeekTo(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("SeekTo(0) read %d, want 0", got)
+	}
+	if err := r.SeekTo(63); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = r.Read(); err != nil || got != 630 {
+		t.Fatalf("SeekTo(63) read %d (%v), want 630", got, err)
+	}
+}
+
+// TestFixedFileWithMagicCollision: a raw fixed node file whose first record
+// is exactly the frame-magic bytes (node id 0xDEC05CEC) must still open —
+// the header fails validation (wrong version byte) and the reader falls back
+// to the fixed layout.
+func TestFixedFileWithMagicCollision(t *testing.T) {
+	cfg := testConfig(t)
+	path := filepath.Join(t.TempDir(), "collide.bin")
+	nodes := []record.NodeID{0xDEC05CEC, 5, 6, 7}
+	if err := WriteSlice(path, record.NodeCodec{}, cfg, nodes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path, record.NodeCodec{}, cfg)
+	if err != nil {
+		t.Fatalf("magic-colliding fixed file rejected: %v", err)
+	}
+	if len(got) != 4 || got[0] != 0xDEC05CEC || got[3] != 7 {
+		t.Fatalf("magic-colliding fixed file misread: %v", got)
+	}
+}

@@ -1,7 +1,22 @@
-// Package recio layers typed, fixed-size-record readers and writers on top of
-// the block-buffered file access of package blockio.  Every external operator
+// Package recio layers typed record readers and writers on top of the
+// block-buffered file access of package blockio.  Every external operator
 // (external sort, merge joins, sequential scans) reads and writes records
 // through this package.
+//
+// Two on-disk layouts are supported, selected per file by the codec family of
+// iomodel.Config (see iomodel.Config.Codec):
+//
+//   - fixed: the plain concatenation of fixed-size records — byte-identical
+//     to the files this repository wrote before codecs became pluggable, and
+//     the only layout supporting record-indexed seeks (SeekTo) and free
+//     counting (Count).
+//   - framed: self-describing frames (blockio.FrameHeader) whose payload a
+//     variable-length record.BlockCodec encodes, typically much smaller than
+//     the fixed layout for the pipeline's sorted intermediates.
+//
+// Readers never need to be told the layout: NewReader sniffs the frame magic
+// and dispatches on the frame's codec ID, so files written under different
+// codec families mix freely within one run.
 package recio
 
 import (
@@ -13,30 +28,102 @@ import (
 	"extscc/internal/record"
 )
 
-// Writer writes fixed-size records of type T to a file.
+// Writer writes records of type T to a file, either as raw fixed-size
+// records or as delta+varint frames, depending on the codec family of the
+// configuration it was created with.
 type Writer[T any] struct {
 	w     *blockio.Writer
 	codec record.Codec[T]
-	buf   []byte
+	stats *iomodel.Stats
 	count int64
+
+	// Fixed mode.
+	buf []byte
+
+	// Framed mode (nil bc selects fixed mode).
+	bc       record.BlockCodec[T]
+	batch    []T
+	frameCap int
+	frame    []byte
+
+	closed bool
 }
 
-// NewWriter creates (truncating) a record file at path.
+// NewWriter creates (truncating) a record file at path, laid out by the codec
+// family of cfg (fixed when the family has no block codec for T).
 func NewWriter[T any](path string, codec record.Codec[T], cfg iomodel.Config) (*Writer[T], error) {
+	return NewWriterFamily(path, codec, cfg, cfg.CodecFamily())
+}
+
+// NewWriterFamily is NewWriter with an explicit codec family, overriding the
+// configuration.  Operators that later need record-indexed random access to
+// the file (recio.Reader.SeekTo works only on fixed files) force
+// record.FamilyFixed here regardless of the run's codec.
+func NewWriterFamily[T any](path string, codec record.Codec[T], cfg iomodel.Config, family string) (*Writer[T], error) {
 	bw, err := blockio.NewWriter(path, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Writer[T]{w: bw, codec: codec, buf: make([]byte, codec.Size())}, nil
+	w := &Writer[T]{w: bw, codec: codec, stats: cfg.Stats}
+	if bc, ok := record.BlockCodecFor[T](family); ok {
+		bs := cfg.BlockSize
+		if bs <= 0 {
+			bs = iomodel.DefaultBlockSize
+		}
+		// Cap the records per frame so one frame (header + worst-case
+		// payload) never exceeds a block: both ends of the pipe then hold at
+		// most ~one block of batched records next to blockio's own buffers.
+		cap := (bs - blockio.FrameHeaderSize) / bc.MaxRecordSize()
+		if cap < 1 {
+			cap = 1
+		}
+		w.bc = bc
+		w.frameCap = cap
+		w.batch = make([]T, 0, cap)
+		w.frame = make([]byte, blockio.FrameHeaderSize, bs)
+	} else {
+		w.buf = make([]byte, codec.Size())
+	}
+	return w, nil
 }
+
+// Framed reports whether the writer lays records out as codec frames.
+func (w *Writer[T]) Framed() bool { return w.bc != nil }
 
 // Write appends one record.
 func (w *Writer[T]) Write(rec T) error {
+	if w.bc != nil {
+		w.batch = append(w.batch, rec)
+		w.count++
+		if len(w.batch) == w.frameCap {
+			return w.flushFrame()
+		}
+		return nil
+	}
 	w.codec.Encode(rec, w.buf)
 	if _, err := w.w.Write(w.buf); err != nil {
 		return err
 	}
 	w.count++
+	return nil
+}
+
+// flushFrame encodes the batched records as one self-describing frame and
+// hands it to the block writer.
+func (w *Writer[T]) flushFrame() error {
+	if len(w.batch) == 0 {
+		return nil
+	}
+	w.frame = w.bc.AppendBlock(w.frame[:blockio.FrameHeaderSize], w.batch)
+	blockio.PutFrameHeader(w.frame[:blockio.FrameHeaderSize], blockio.FrameHeader{
+		Codec:   byte(w.bc.ID()),
+		Count:   uint32(len(w.batch)),
+		Payload: uint32(len(w.frame) - blockio.FrameHeaderSize),
+	})
+	if _, err := w.w.Write(w.frame); err != nil {
+		return err
+	}
+	w.batch = w.batch[:0]
 	return nil
 }
 
@@ -46,41 +133,216 @@ func (w *Writer[T]) Count() int64 { return w.count }
 // Name returns the file path.
 func (w *Writer[T]) Name() string { return w.w.Name() }
 
-// Close flushes buffered blocks and closes the file.
-func (w *Writer[T]) Close() error { return w.w.Close() }
+// Close flushes buffered records and blocks and closes the file.  The
+// records' fixed-layout volume is charged to the logical-bytes counter, so
+// Stats can report the run's compression ratio.
+func (w *Writer[T]) Close() error {
+	if w.closed {
+		return w.w.Close()
+	}
+	w.closed = true
+	var ferr error
+	if w.bc != nil {
+		ferr = w.flushFrame()
+	}
+	w.stats.CountLogicalWrite(w.count * int64(w.codec.Size()))
+	cerr := w.w.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
 
-// Reader reads fixed-size records of type T from a file.
+// Reader reads records of type T from a file, auto-detecting whether the
+// file is a raw fixed-size record file or a framed codec file.
 type Reader[T any] struct {
 	r     *blockio.Reader
 	codec record.Codec[T]
-	buf   []byte
 	stats *iomodel.Stats
+
+	// Fixed mode.  pre holds bytes consumed from the file head while
+	// sniffing for the frame magic; records are served from it first.
+	buf    []byte
+	pre    []byte
+	preOff int
+
+	// Framed mode.
+	bc      record.BlockCodec[T]
+	batch   []T
+	bi      int
+	payload []byte
+	pending *blockio.FrameHeader
 }
 
-// NewReader opens a record file for sequential reading.
+// NewReader opens a record file for sequential reading, sniffing its layout
+// from the first bytes: files starting with a valid frame header are decoded
+// by the block codec the header names, anything else is read as raw
+// fixed-size records.  The sniff reads the file's head block at open time —
+// one sequential block I/O that a sequential consumer would have paid on its
+// first Read anyway; only open-then-seek access patterns pay it extra, the
+// price of self-describing files.
 func NewReader[T any](path string, codec record.Codec[T], cfg iomodel.Config) (*Reader[T], error) {
 	br, err := blockio.NewReader(path, cfg)
 	if err != nil {
 		return nil, err
 	}
+	r := &Reader[T]{r: br, codec: codec, stats: cfg.Stats}
+	fail := func(err error) (*Reader[T], error) {
+		br.Close()
+		return nil, err
+	}
+	if br.Size() >= blockio.FrameHeaderSize {
+		head := make([]byte, blockio.FrameHeaderSize)
+		if err := br.ReadFull(head); err != nil {
+			return fail(fmt.Errorf("recio: read head of %s: %w", path, err))
+		}
+		if blockio.HasFrameMagic(head) {
+			h, err := blockio.ParseFrameHeader(head)
+			if err == nil {
+				// A well-formed header is a framed file; a codec ID that does
+				// not resolve for T means it holds a different record type
+				// (or a codec this build does not know), which is always an
+				// error — never a reason to reinterpret the bytes as fixed.
+				bc, err := record.BlockCodecForID[T](record.CodecID(h.Codec))
+				if err != nil {
+					return fail(fmt.Errorf("recio: %s: %w", path, err))
+				}
+				r.bc = bc
+				r.pending = &h
+				return r, nil
+			}
+			// The magic matched but the header is malformed (bad version
+			// byte): the signature of a fixed file whose first node id
+			// happens to be the magic bytes.  Fall back to the fixed layout
+			// when its size arithmetic works out; otherwise surface the
+			// header error (the file is a framed format this build cannot
+			// read, or corrupt).
+			if br.Size()%int64(codec.Size()) != 0 {
+				return fail(fmt.Errorf("recio: %s: %w", path, err))
+			}
+		}
+		r.pre = head
+	} else if br.Size() > 0 {
+		// The whole file is shorter than a frame header: it can only be a
+		// (tiny) fixed file.
+		r.pre = make([]byte, br.Size())
+		if err := br.ReadFull(r.pre); err != nil {
+			return fail(fmt.Errorf("recio: read head of %s: %w", path, err))
+		}
+	}
 	size := int64(codec.Size())
 	if br.Size()%size != 0 {
-		br.Close()
-		return nil, fmt.Errorf("recio: %s has size %d, not a multiple of record size %d", path, br.Size(), size)
+		return fail(fmt.Errorf("recio: %s has size %d, not a multiple of record size %d", path, br.Size(), size))
 	}
-	return &Reader[T]{r: br, codec: codec, buf: make([]byte, codec.Size()), stats: cfg.Stats}, nil
+	r.buf = make([]byte, codec.Size())
+	return r, nil
 }
 
-// Count returns the total number of records in the file.
-func (r *Reader[T]) Count() int64 { return r.r.Size() / int64(r.codec.Size()) }
+// Framed reports whether the file is framed (variable-length codec).  Framed
+// files stream only: Count returns -1 and SeekTo fails.
+func (r *Reader[T]) Framed() bool { return r.bc != nil }
+
+// Count returns the total number of records in the file, or -1 for a framed
+// file (whose record count is only known after a scan; see CountRecords).
+func (r *Reader[T]) Count() int64 {
+	if r.bc != nil {
+		return -1
+	}
+	return r.r.Size() / int64(r.codec.Size())
+}
 
 // Name returns the file path.
 func (r *Reader[T]) Name() string { return r.r.Name() }
 
+// readFull fills p from the sniffed head bytes first, then from the block
+// reader.
+func (r *Reader[T]) readFull(p []byte) error {
+	got := 0
+	for r.preOff < len(r.pre) && got < len(p) {
+		n := copy(p[got:], r.pre[r.preOff:])
+		got += n
+		r.preOff += n
+	}
+	if got == len(p) {
+		return nil
+	}
+	err := r.r.ReadFull(p[got:])
+	if err == io.EOF && got > 0 {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// nextFrame loads the next frame's records into the batch.
+func (r *Reader[T]) nextFrame() error {
+	for {
+		var h blockio.FrameHeader
+		if r.pending != nil {
+			h, r.pending = *r.pending, nil
+		} else {
+			var head [blockio.FrameHeaderSize]byte
+			if err := r.r.ReadFull(head[:]); err != nil {
+				if err == io.EOF {
+					return io.EOF
+				}
+				return fmt.Errorf("recio: read frame header of %s: %w", r.Name(), err)
+			}
+			var err error
+			h, err = blockio.ParseFrameHeader(head[:])
+			if err != nil {
+				return fmt.Errorf("recio: %s: %w", r.Name(), err)
+			}
+		}
+		if record.CodecID(h.Codec) != r.bc.ID() {
+			return fmt.Errorf("recio: %s: frame codec id %d, file opened with codec id %d", r.Name(), h.Codec, r.bc.ID())
+		}
+		// Sanity bounds before allocating: the payload cannot exceed the
+		// file, and every record costs at least one payload byte, so a
+		// corrupt count cannot force an oversized batch allocation.
+		if int64(h.Payload) > r.r.Size() {
+			return fmt.Errorf("recio: %s: frame payload length %d exceeds file size %d", r.Name(), h.Payload, r.r.Size())
+		}
+		if int64(h.Count) > int64(h.Payload) {
+			return fmt.Errorf("recio: %s: frame claims %d records in %d payload bytes", r.Name(), h.Count, h.Payload)
+		}
+		if cap(r.payload) < int(h.Payload) {
+			r.payload = make([]byte, h.Payload)
+		}
+		pb := r.payload[:h.Payload]
+		if err := r.readFull(pb); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return fmt.Errorf("recio: %s: truncated frame payload", r.Name())
+			}
+			return err
+		}
+		r.batch = r.batch[:0]
+		var err error
+		r.batch, err = r.bc.DecodeBlock(pb, int(h.Count), r.batch)
+		if err != nil {
+			return fmt.Errorf("recio: %s: %w", r.Name(), err)
+		}
+		r.bi = 0
+		if len(r.batch) > 0 {
+			return nil
+		}
+	}
+}
+
 // Read returns the next record, or io.EOF after the last one.
 func (r *Reader[T]) Read() (T, error) {
 	var zero T
-	if err := r.r.ReadFull(r.buf); err != nil {
+	if r.bc != nil {
+		if r.bi >= len(r.batch) {
+			if err := r.nextFrame(); err != nil {
+				return zero, err
+			}
+		}
+		rec := r.batch[r.bi]
+		r.bi++
+		r.stats.CountScanRecords(1)
+		return rec, nil
+	}
+	if err := r.readFull(r.buf); err != nil {
 		if err == io.EOF {
 			return zero, io.EOF
 		}
@@ -90,10 +352,15 @@ func (r *Reader[T]) Read() (T, error) {
 	return r.codec.Decode(r.buf), nil
 }
 
-// Seek repositions the reader to the record with the given index.  The
+// SeekTo repositions the reader to the record with the given index.  The
 // following block fetch is charged as a random I/O unless it happens to be
-// sequential.
+// sequential.  SeekTo is only supported on fixed-layout files: a framed file
+// has no record-index-to-byte-offset mapping.
 func (r *Reader[T]) SeekTo(recordIndex int64) error {
+	if r.bc != nil {
+		return fmt.Errorf("recio: %s is a framed codec file; record seeks need the fixed layout (write such files with record.FamilyFixed)", r.Name())
+	}
+	r.preOff = len(r.pre)
 	return r.r.SeekTo(recordIndex * int64(r.codec.Size()))
 }
 
@@ -235,7 +502,11 @@ func ReadAll[T any](path string, codec record.Codec[T], cfg iomodel.Config) ([]T
 		return nil, err
 	}
 	defer r.Close()
-	recs := make([]T, 0, r.Count())
+	hint := r.Count()
+	if hint < 0 {
+		hint = 0
+	}
+	recs := make([]T, 0, hint)
 	for {
 		rec, err := r.Read()
 		if err == io.EOF {
@@ -249,13 +520,29 @@ func ReadAll[T any](path string, codec record.Codec[T], cfg iomodel.Config) ([]T
 	return recs, nil
 }
 
-// CountRecords returns the number of records in the file at path without
-// reading it.
+// CountRecords returns the number of records in the file at path.  For a
+// fixed-layout file the count is size arithmetic on top of the open (which,
+// like every open, reads the head block to detect the layout); for a framed
+// file the frame headers are scanned, which costs one sequential pass over
+// the file's blocks.  Operators on the hot path therefore carry counts from
+// the writers that produced their files instead of calling this.
 func CountRecords[T any](path string, codec record.Codec[T], cfg iomodel.Config) (int64, error) {
 	r, err := NewReader(path, codec, cfg)
 	if err != nil {
 		return 0, err
 	}
 	defer r.Close()
-	return r.Count(), nil
+	if !r.Framed() {
+		return r.Count(), nil
+	}
+	var total int64
+	for {
+		if err := r.nextFrame(); err != nil {
+			if err == io.EOF {
+				return total, nil
+			}
+			return total, err
+		}
+		total += int64(len(r.batch))
+	}
 }

@@ -1,10 +1,13 @@
 package record
 
-// Fuzz round-trips for every fixed-size codec: Encode followed by Decode
-// must reproduce the record exactly, for arbitrary field values.  The seed
-// corpus under testdata/fuzz pins the boundary NodeIDs (0 and MaxUint32);
-// the seeds run as ordinary cases on every `go test`, and `go test -fuzz`
-// explores beyond them.
+// Fuzz round-trips for every codec, fixed and varint: Encode followed by
+// Decode must reproduce the record exactly, for arbitrary field values.  The
+// varint fuzzers additionally build three-record blocks (so the delta chains
+// are exercised, not just the first record) and feed arbitrary bytes to the
+// block decoders, which must reject garbage with an error instead of
+// panicking or fabricating records.  The seed corpus under testdata/fuzz
+// pins the boundary NodeIDs (0 and MaxUint32); the seeds run as ordinary
+// cases on every `go test`, and `go test -fuzz` explores beyond them.
 
 import (
 	"math"
@@ -113,5 +116,103 @@ func FuzzEdgeAugCodec(f *testing.F) {
 		if got := c.Decode(buf); got != want {
 			t.Fatalf("round trip: got %+v, want %+v", got, want)
 		}
+	})
+}
+
+// fuzzBlockRoundTrip encodes recs as one varint block and decodes it back.
+func fuzzBlockRoundTrip[T comparable](t *testing.T, bc BlockCodec[T], recs []T) {
+	t.Helper()
+	payload := bc.AppendBlock(nil, recs)
+	if len(payload) > len(recs)*bc.MaxRecordSize() {
+		t.Fatalf("payload %d bytes exceeds MaxRecordSize bound %d", len(payload), len(recs)*bc.MaxRecordSize())
+	}
+	got, err := bc.DecodeBlock(payload, len(recs), nil)
+	if err != nil {
+		t.Fatalf("DecodeBlock: %v", err)
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func FuzzVarintEdgeCodec(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(math.MaxUint32), uint32(math.MaxUint32), uint32(1), uint32(2))
+	f.Add(uint32(7), uint32(7), uint32(3), uint32(9), uint32(0), uint32(math.MaxUint32))
+	f.Fuzz(func(t *testing.T, u1, v1, u2, v2, u3, v3 uint32) {
+		fuzzBlockRoundTrip[Edge](t, VarintEdgeCodec{}, []Edge{{U: u1, V: v1}, {U: u2, V: v2}, {U: u3, V: v3}})
+	})
+}
+
+func FuzzVarintNodeCodec(f *testing.F) {
+	f.Add(uint32(0), uint32(math.MaxUint32), uint32(1))
+	f.Add(uint32(math.MaxUint32), uint32(0), uint32(math.MaxUint32))
+	f.Fuzz(func(t *testing.T, a, b, c uint32) {
+		fuzzBlockRoundTrip[NodeID](t, VarintNodeCodec{}, []NodeID{a, b, c})
+	})
+}
+
+func FuzzVarintNodeDegreeCodec(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(math.MaxUint32), uint32(math.MaxUint32), uint32(math.MaxUint32))
+	f.Fuzz(func(t *testing.T, n1, i1, o1, n2, i2, o2 uint32) {
+		fuzzBlockRoundTrip[NodeDegree](t, VarintNodeDegreeCodec{}, []NodeDegree{
+			{Node: n1, DegIn: i1, DegOut: o1},
+			{Node: n2, DegIn: i2, DegOut: o2},
+		})
+	})
+}
+
+func FuzzVarintEdgeAugCodec(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint64(0), uint64(0), uint64(math.MaxUint64), uint64(math.MaxUint64),
+		uint32(math.MaxUint32), uint32(math.MaxUint32), uint64(1), uint64(2), uint64(3), uint64(4))
+	f.Fuzz(func(t *testing.T, u1, v1 uint32, du1, pu1, dv1, pv1 uint64, u2, v2 uint32, du2, pu2, dv2, pv2 uint64) {
+		fuzzBlockRoundTrip[EdgeAug](t, VarintEdgeAugCodec{}, []EdgeAug{
+			{U: u1, V: v1, KeyU: NodeKey{Deg: du1, Prod: pu1}, KeyV: NodeKey{Deg: dv1, Prod: pv1}},
+			{U: u2, V: v2, KeyU: NodeKey{Deg: du2, Prod: pu2}, KeyV: NodeKey{Deg: dv2, Prod: pv2}},
+		})
+	})
+}
+
+func FuzzVarintLabelCodec(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(math.MaxUint32), uint32(math.MaxUint32))
+	f.Fuzz(func(t *testing.T, n1, s1, n2, s2 uint32) {
+		fuzzBlockRoundTrip[Label](t, VarintLabelCodec{}, []Label{{Node: n1, SCC: s1}, {Node: n2, SCC: s2}})
+	})
+}
+
+func FuzzVarintEdgeSCCCodec(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(math.MaxUint32), uint32(math.MaxUint32), uint32(math.MaxUint32))
+	f.Fuzz(func(t *testing.T, u1, v1, s1, u2, v2, s2 uint32) {
+		fuzzBlockRoundTrip[EdgeSCC](t, VarintEdgeSCCCodec{}, []EdgeSCC{{U: u1, V: v1, SCC: s1}, {U: u2, V: v2, SCC: s2}})
+	})
+}
+
+// FuzzVarintDecodeGarbage feeds arbitrary payload bytes and record counts to
+// every varint decoder: decoding must terminate with records or an error,
+// never panic, and a successful decode must produce exactly count records.
+func FuzzVarintDecodeGarbage(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}, uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
+	f.Fuzz(func(t *testing.T, payload []byte, count8 uint8) {
+		count := int(count8)
+		checkLen := func(name string, n int, err error) {
+			if err == nil && n != count {
+				t.Fatalf("%s: decoded %d records without error, want %d", name, n, count)
+			}
+		}
+		e, err := VarintEdgeCodec{}.DecodeBlock(payload, count, nil)
+		checkLen("edge", len(e), err)
+		n, err := VarintNodeCodec{}.DecodeBlock(payload, count, nil)
+		checkLen("node", len(n), err)
+		d, err := VarintNodeDegreeCodec{}.DecodeBlock(payload, count, nil)
+		checkLen("degree", len(d), err)
+		a, err := VarintEdgeAugCodec{}.DecodeBlock(payload, count, nil)
+		checkLen("aug", len(a), err)
+		l, err := VarintLabelCodec{}.DecodeBlock(payload, count, nil)
+		checkLen("label", len(l), err)
+		s, err := VarintEdgeSCCCodec{}.DecodeBlock(payload, count, nil)
+		checkLen("edgescc", len(s), err)
 	})
 }

@@ -1,10 +1,3 @@
-// Package record defines the fixed-size binary record types that flow through
-// the external operators of this repository (edges, node lists, degree tables
-// and SCC label files), together with their on-disk codecs and the total
-// orders the paper's algorithms sort them by.
-//
-// All records are little-endian and fixed-size so that files can be processed
-// block-by-block with pure sequential scans and external sorts.
 package record
 
 import (

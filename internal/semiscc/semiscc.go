@@ -40,6 +40,10 @@ type Result struct {
 	// with one record per node of the input graph.  Every SCC identifier is
 	// the node id of one of its members.
 	LabelPath string
+	// NumLabels is the number of label records actually written to
+	// LabelPath; callers use it to validate label-file completeness without
+	// a counting scan.
+	NumLabels int64
 	// NumSCCs is the number of strongly connected components found.
 	NumSCCs int64
 	// EdgeScans is the number of sequential passes over the edge file.
@@ -78,11 +82,13 @@ func computeInMemory(g edgefile.Graph, nodes []record.NodeID, dir string, cfg io
 	mg := memgraph.FromEdges(edges, nodes)
 	labels := mg.Tarjan().Labels()
 	labelPath := blockio.TempFile(dir, "semiscc-labels", cfg.Stats)
-	if err := recio.WriteSlice(labelPath, record.LabelCodec{}, cfg, labels); err != nil {
+	written, err := recio.WriteAll(labelPath, record.LabelCodec{}, cfg, recio.NewSliceIterator(labels))
+	if err != nil {
 		return Result{}, err
 	}
 	return Result{
 		LabelPath:    labelPath,
+		NumLabels:    written,
 		NumSCCs:      countSCCs(labels),
 		EdgeScans:    1,
 		UsedInMemory: true,
@@ -240,11 +246,13 @@ func computeStreaming(g edgefile.Graph, nodes []record.NodeID, dir string, cfg i
 	}
 	sort.Slice(labels, func(i, j int) bool { return labels[i].Node < labels[j].Node })
 	labelPath := blockio.TempFile(dir, "semiscc-labels", cfg.Stats)
-	if err := recio.WriteSlice(labelPath, record.LabelCodec{}, cfg, labels); err != nil {
+	written, err := recio.WriteAll(labelPath, record.LabelCodec{}, cfg, recio.NewSliceIterator(labels))
+	if err != nil {
 		return Result{}, err
 	}
 	return Result{
 		LabelPath: labelPath,
+		NumLabels: written,
 		NumSCCs:   countSCCs(labels),
 		EdgeScans: scans,
 	}, nil

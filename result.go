@@ -17,7 +17,10 @@ import (
 // Stats summarises the I/O behaviour of a computation.  Every counter is
 // independent of the storage backend and of the worker count: for a fixed
 // workload and configuration, runs on OSStorage and MemStorage at any
-// WithWorkers setting report identical values (only Duration varies).
+// WithWorkers setting report identical values (only Duration varies).  The
+// codec family (WithCodec) is different: it deliberately changes BytesWritten
+// and the block counts — that is the point of a compressing codec — while
+// leaving the labelling untouched.
 type Stats struct {
 	// TotalIOs is the number of block transfers (reads plus writes).
 	TotalIOs int64
@@ -34,6 +37,11 @@ type Stats struct {
 	BytesWritten int64
 	// FilesCreated is the number of intermediate files the run created.
 	FilesCreated int64
+	// CompressionRatio is the logical record volume of every file the run
+	// wrote divided by the bytes that physically hit storage: 1.0 under
+	// CodecFixed, above 1.0 when a compressing codec shrank the files, 0 when
+	// nothing was written.
+	CompressionRatio float64
 	// ContractionIterations is the number of contraction steps performed
 	// (0 for algorithms that do not contract).
 	ContractionIterations int
@@ -43,6 +51,9 @@ type Stats struct {
 	// Storage names the backend the run executed on ("os", "mem").  Like
 	// Workers it never affects the I/O counters, only Duration.
 	Storage string
+	// Codec names the record-codec family intermediate files were written
+	// with ("fixed", "varint"); see WithCodec.
+	Codec string
 	// Duration is the wall-clock time of the computation.
 	Duration time.Duration
 }

@@ -43,11 +43,13 @@ type SourceEnv struct {
 // GraphFiles describes an opened on-disk graph in the engine's format.
 type GraphFiles struct {
 	// EdgePath is the edge file: a sequence of 8-byte little-endian
-	// (u uint32, v uint32) records.  Required.
+	// (u uint32, v uint32) records, or the framed compressed equivalent
+	// written under WithCodec(CodecVarint) — readers auto-detect which.
+	// Required.
 	EdgePath string
 	// NodePath is the node file: sorted, deduplicated 4-byte little-endian
-	// node ids.  When empty, the engine derives the node set from the edge
-	// endpoints plus ExtraNodes.
+	// node ids (or their framed equivalent).  When empty, the engine derives
+	// the node set from the edge endpoints plus ExtraNodes.
 	NodePath string
 	// ExtraNodes lists nodes with no incident edges (isolated nodes that
 	// still need an SCC label).  Only consulted when NodePath is empty.
@@ -233,12 +235,23 @@ func (s generatorSource) Open(ctx context.Context, env SourceEnv) (GraphFiles, e
 	return GraphFiles{EdgePath: path, ExtraNodes: nodes, NumEdges: numEdges}, nil
 }
 
-// WriteEdgeFile materialises the workload as an edge file at path and
-// returns the number of edges written and the full node set (including
-// isolated nodes).  It is the single dispatch over the generator kinds,
-// shared by GeneratorSource and cmd/sccgen.
+// WriteEdgeFile materialises the workload as an edge file at path on the
+// process-default storage backend and returns the number of edges written and
+// the full node set (including isolated nodes).  It is the single dispatch
+// over the generator kinds, shared by GeneratorSource and cmd/sccgen.
 func (s GeneratorSpec) WriteEdgeFile(path string) (int64, []NodeID, error) {
-	cfg, err := iomodel.DefaultConfig().Validate()
+	return s.WriteEdgeFileOn(nil, path)
+}
+
+// WriteEdgeFileOn is WriteEdgeFile with an explicit storage backend (nil =
+// the process default), so tools can generate straight into any Storage —
+// cmd/sccgen's -storage flag stages through the in-memory backend this way.
+func (s GeneratorSpec) WriteEdgeFileOn(backend Storage, path string) (int64, []NodeID, error) {
+	cfg, err := iomodel.Config{
+		BlockSize: iomodel.DefaultBlockSize,
+		Memory:    iomodel.DefaultMemory,
+		Storage:   backend,
+	}.Validate()
 	if err != nil {
 		return 0, nil, err
 	}
