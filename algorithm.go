@@ -9,10 +9,12 @@ import (
 	"sync"
 
 	"extscc/internal/baseline"
+	"extscc/internal/blockio"
 	"extscc/internal/core"
 	"extscc/internal/edgefile"
 	"extscc/internal/iomodel"
 	"extscc/internal/semiscc"
+	"extscc/internal/storage"
 )
 
 // ErrDidNotConverge is returned by algorithms that may fail to make progress
@@ -22,6 +24,21 @@ var ErrDidNotConverge = errors.New("extscc: algorithm did not converge")
 // ErrBudgetExceeded is returned when a run exceeds its I/O budget (see
 // WithMaxIOs); the paper reports such runs as INF.
 var ErrBudgetExceeded = baseline.ErrBudgetExceeded
+
+// ErrCorrupt is the sentinel matched (errors.Is) by every detected-corruption
+// failure: a frame whose CRC-32C does not cover its bytes, a malformed frame
+// header mid-file, a truncated or undecodable payload.  Corruption always
+// fails the run — it is never silently decoded into a wrong labelling — and
+// is never retried: unlike a transient fault, corrupt bytes read the same on
+// every attempt.  The wrapped error (a *blockio.CorruptError internally)
+// names the file, the frame index and the byte offset.
+var ErrCorrupt = blockio.ErrCorrupt
+
+// IsTransient reports whether err looks like a transient storage failure —
+// one that WithRetry would re-issue.  It matches errors declaring themselves
+// transient via a `Transient() bool` method (as the fault-injection layer's
+// errors do) anywhere in the unwrap chain.
+func IsTransient(err error) bool { return storage.IsTransient(err) }
 
 // Algorithm is one SCC computation strategy.  Implementations are registered
 // with Register and resolved by name through Lookup, so that every tool,

@@ -52,6 +52,7 @@ func main() {
 	storageName := flag.String("storage", "", "storage backend for graphs and intermediates: os (default) or mem (fully in RAM)")
 	compareStorage := flag.Bool("compare-storage", false, "run on the os and mem backends, verify identical SCCs and I/O counts, report the speedup")
 	codecName := flag.String("codec", "", "record codec for intermediate files: fixed (default) or varint (delta+varint compressed frames)")
+	retry := flag.Int("retry", 0, "retry transient storage failures up to this many times per operation (0 = fail fast)")
 	compareCodec := flag.Bool("compare-codec", false, "run with the fixed and varint codecs, verify identical SCCs, and report the byte and block-I/O reduction (fails unless varint cuts bytes written by >= 30% and lowers block I/Os)")
 	jsonPath := flag.String("json", "", "write measurements as a JSON report to this file")
 	baselinePath := flag.String("baseline", "", "gate the workers=1 measurements against this committed JSON report")
@@ -97,7 +98,7 @@ func main() {
 	}
 
 	runOnce := func(w int, b storage.Backend, codec string) ([]bench.Measurement, error) {
-		cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: w, Storage: b, Codec: codec}
+		cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: w, Storage: b, Codec: codec, Retries: *retry}
 		if *experiment == "all" {
 			return bench.RunAll(cfg)
 		}
@@ -220,7 +221,7 @@ func main() {
 		fmt.Printf("CSV written to %s\n", *csvPath)
 	}
 
-	cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: resolvedWorkers, Storage: backend, Codec: *codecName}
+	cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: resolvedWorkers, Storage: backend, Codec: *codecName, Retries: *retry}
 	report := bench.NewReport(*experiment, cfg, ms)
 	if *jsonPath != "" {
 		if err := report.WriteFile(*jsonPath); err != nil {

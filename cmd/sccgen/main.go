@@ -38,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "", "output edge file on the local filesystem (required)")
 	storageName := flag.String("storage", "", "storage backend the generator writes through: os (default; straight to -out) or mem (generate in RAM, then copy the finished file to -out)")
+	retry := flag.Int("retry", 0, "retry transient storage failures up to this many times per operation (0 = fail fast)")
 	flag.Parse()
 
 	if *out == "" {
@@ -48,11 +49,12 @@ func main() {
 		log.Fatal(err)
 	}
 	spec := extscc.GeneratorSpec{
-		Kind:   *kind,
-		Scale:  *scale,
-		Nodes:  *nodes,
-		Degree: *degree,
-		Seed:   *seed,
+		Kind:    *kind,
+		Scale:   *scale,
+		Nodes:   *nodes,
+		Degree:  *degree,
+		Seed:    *seed,
+		Retries: *retry,
 	}
 
 	// The generator writes through the selected backend; when that backend is

@@ -39,6 +39,7 @@ func main() {
 	tempDir := flag.String("tmp", os.TempDir(), "directory for intermediate files")
 	storageName := flag.String("storage", "", "storage backend: os (default; local disk) or mem (diskless: the input is staged into RAM, all intermediates live in RAM, -out copies the labels back to disk)")
 	codecName := flag.String("codec", "", "record codec for intermediate files: fixed (default; byte-identical to the historical layout) or varint (delta+varint compressed frames, fewer bytes and block I/Os)")
+	retry := flag.Int("retry", 0, "retry transient storage failures up to this many times per operation (0 = fail fast, the historical behaviour)")
 	maxDur := flag.Duration("max-duration", 0, "abort after this duration (0 = unlimited)")
 	maxIOs := flag.Int64("max-ios", 0, "abort after this many block I/Os, for algorithms that support the cap (0 = unlimited)")
 	flag.Parse()
@@ -81,6 +82,7 @@ func main() {
 		extscc.WithTempDir(*tempDir),
 		extscc.WithStorage(backend),
 		extscc.WithCodec(*codecName),
+		extscc.WithRetry(*retry),
 		extscc.WithMaxIOs(*maxIOs),
 		extscc.WithProgress(func(p extscc.Progress) {
 			fmt.Printf("  iteration %d: |V|=%d |E|=%d removed=%d preserved=%d added=%d\n",
@@ -104,6 +106,8 @@ func main() {
 		log.Fatalf("%s: %v", *algo, err)
 	case errors.Is(err, extscc.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded):
 		log.Fatalf("%s exceeded its budget: %v", *algo, err)
+	case errors.Is(err, extscc.ErrCorrupt):
+		log.Fatalf("corrupt input or intermediate data (no labelling was produced): %v", err)
 	case err != nil:
 		log.Fatal(err)
 	}
@@ -116,6 +120,9 @@ func main() {
 	fmt.Printf("SCCs: %d\ntime: %s (%d workers, %s storage, %s codec)\nI/Os: %d (random %d)\nbytes: read %d, written %d (compression %.2fx)\n",
 		res.NumSCCs, res.Stats.Duration.Round(time.Millisecond), res.Stats.Workers, res.Stats.Storage, res.Stats.Codec,
 		res.Stats.TotalIOs, res.Stats.RandomIOs, res.Stats.BytesRead, res.Stats.BytesWritten, res.Stats.CompressionRatio)
+	if res.Stats.Retries > 0 {
+		fmt.Printf("retries: %d transient storage failures recovered\n", res.Stats.Retries)
+	}
 
 	if *out != "" {
 		if backend.Name() == "os" {

@@ -31,11 +31,14 @@ func main() {
 	labelPath := flag.String("labels", "", "label file to verify")
 	algo := flag.String("algo", "", "registered algorithm to run and verify instead of -labels")
 	nodeBudget := flag.Int64("node-budget", 0, "override the semi-external node capacity for -algo runs")
+	retry := flag.Int("retry", 0, "retry transient storage failures up to this many times per operation for -algo runs (0 = fail fast)")
 	flag.Parse()
 	if *graphPath == "" || (*labelPath == "") == (*algo == "") {
 		log.Fatal("-graph and exactly one of -labels or -algo are required")
 	}
-	cfg, err := iomodel.DefaultConfig().Validate()
+	base := iomodel.DefaultConfig()
+	base.Retries = *retry
+	cfg, err := base.Validate()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,6 +52,7 @@ func main() {
 		eng, err := extscc.New(
 			extscc.WithAlgorithm(*algo),
 			extscc.WithNodeBudget(*nodeBudget),
+			extscc.WithRetry(*retry),
 		)
 		if err != nil {
 			log.Fatal(err)

@@ -117,6 +117,27 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithRetry sets how many times a failed storage operation (open, create,
+// block read, block write) is re-issued when the failure is transient
+// (see IsTransient).  The default, 0, disables retrying entirely: every run
+// is byte-for-byte and counter-for-counter identical to the engine before
+// retries existed, and the first I/O error fails the run.  With n > 0 each
+// retry waits briefly (exponential backoff) before re-issuing; a retried
+// append first truncates the file back to its last known-good length, so a
+// torn write is never duplicated.  Retries never change the accounted I/O —
+// a re-issued block transfer replaces the failed one — and permanent errors
+// are never retried.  Result.Stats.Retries reports how many retries a run
+// performed.
+func WithRetry(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("extscc: WithRetry(%d): retry count cannot be negative", n)
+		}
+		e.base.Retries = n
+		return nil
+	}
+}
+
 // Storage selects where every file of a run lives: the staged input, all
 // intermediates, and the result label file.  The two built-in backends are
 // OSStorage (local disk, the default) and MemStorage (an in-RAM block
@@ -233,6 +254,7 @@ func New(opts ...Option) (*Engine, error) {
 		TempDir:    e.base.TempDir,
 		Workers:    e.base.Workers,
 		Codec:      e.base.Codec,
+		Retries:    e.base.Retries,
 		Storage:    e.base.Storage,
 	}.Validate()
 	if err != nil {
@@ -321,7 +343,8 @@ func (e *Engine) Run(ctx context.Context, src Source) (*Result, error) {
 	if err != nil {
 		return fail(err)
 	}
-	delta := cfg.Stats.Snapshot().Sub(before)
+	full := cfg.Stats.Snapshot()
+	delta := full.Sub(before)
 	return &Result{
 		Algorithm: e.algo.Name(),
 		NumNodes:  g.NumNodes,
@@ -340,10 +363,15 @@ func (e *Engine) Run(ctx context.Context, src Source) (*Result, error) {
 			FilesCreated:          delta.FilesCreated,
 			CompressionRatio:      delta.CompressionRatio(),
 			ContractionIterations: ares.Iterations,
-			Workers:               cfg.WorkerCount(),
-			Storage:               cfg.Backend().Name(),
-			Codec:                 cfg.CodecFamily(),
-			Duration:              time.Since(start),
+			// Retries and corruption are reported for the whole run —
+			// staging included — unlike the algorithm-only I/O delta above:
+			// a recovered fault is a recovered fault wherever it struck.
+			Retries:       full.Retries,
+			CorruptFrames: full.CorruptFrames,
+			Workers:       cfg.WorkerCount(),
+			Storage:       cfg.Backend().Name(),
+			Codec:         cfg.CodecFamily(),
+			Duration:      time.Since(start),
 		},
 		runDir: runDir,
 		cfg:    cfg,

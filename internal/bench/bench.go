@@ -109,6 +109,10 @@ type Config struct {
 	// lowers BytesWritten and the block counts without changing any SCC
 	// result.
 	Codec string
+	// Retries is the transient-failure retry budget per storage operation
+	// (0 = fail fast).  Retried transfers are never double-counted, so the
+	// measured I/O is identical at every setting.
+	Retries int
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +148,7 @@ func (c Config) ioConfig(nodeBudget int64) iomodel.Config {
 		TempDir:    c.TempDir,
 		Workers:    c.resolvedWorkers(),
 		Codec:      c.Codec,
+		Retries:    c.Retries,
 		Storage:    c.Storage,
 		Stats:      &iomodel.Stats{},
 	}
@@ -319,6 +324,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 		extscc.WithTempDir(c.TempDir),
 		extscc.WithStorage(backend),
 		extscc.WithCodec(c.Codec),
+		extscc.WithRetry(c.Retries),
 	}
 	ctx := context.Background()
 	if budgeted {

@@ -83,6 +83,7 @@ type Writer struct {
 	n         int
 	blockSize int
 	stats     *iomodel.Stats
+	ret       retrier
 	written   int64
 	closed    bool
 	async     *asyncWriter
@@ -117,7 +118,13 @@ func (a *asyncWriter) error() error {
 // and returns a Writer using block size cfg.BlockSize, charging I/Os to
 // cfg.Stats.
 func NewWriter(path string, cfg iomodel.Config) (*Writer, error) {
-	f, err := cfg.Backend().Create(path)
+	ret := newRetrier(cfg)
+	var f storage.File
+	err := ret.do(func() error {
+		var cerr error
+		f, cerr = cfg.Backend().Create(path)
+		return cerr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("blockio: create %s: %w", path, err)
 	}
@@ -125,7 +132,7 @@ func NewWriter(path string, cfg iomodel.Config) (*Writer, error) {
 	if bs <= 0 {
 		bs = iomodel.DefaultBlockSize
 	}
-	w := &Writer{f: f, buf: make([]byte, bs), blockSize: bs, stats: cfg.Stats}
+	w := &Writer{f: f, buf: make([]byte, bs), blockSize: bs, stats: cfg.Stats, ret: ret}
 	if cfg.WorkerCount() > 1 {
 		w.startAsync()
 	}
@@ -142,10 +149,16 @@ func (w *Writer) startAsync() {
 	w.async = a
 	go func() {
 		defer close(a.done)
+		// flushed tracks the bytes known persisted, the rollback point for
+		// retried appends (see retrier.writeBlock); it is goroutine-local
+		// because only this goroutine touches the file.
+		var flushed int64
 		for b := range a.blocks {
 			if a.error() == nil {
-				if _, err := w.f.Write(b); err != nil {
+				if err := w.ret.writeBlock(w.f, b, flushed); err != nil {
 					a.setErr(fmt.Errorf("blockio: write %s: %w", w.f.Name(), err))
+				} else {
+					flushed += int64(len(b))
 				}
 			}
 			a.free <- b[:cap(b)]
@@ -191,7 +204,10 @@ func (w *Writer) flush() error {
 		w.n = 0
 		return nil
 	}
-	if _, err := w.f.Write(w.buf[:w.n]); err != nil {
+	// w.written is exactly the persisted length here (every prior flush
+	// succeeded or we would have failed), so it is the rollback point for
+	// retried appends.
+	if err := w.ret.writeBlock(w.f, w.buf[:w.n], w.written); err != nil {
 		return fmt.Errorf("blockio: write %s: %w", w.f.Name(), err)
 	}
 	// Writes of a Writer are always appends and therefore sequential.
@@ -252,6 +268,7 @@ type Reader struct {
 	r, n       int
 	blockSize  int
 	stats      *iomodel.Stats
+	ret        retrier
 	fileOffset int64 // offset of the byte after the buffered data
 	nextSeq    int64 // file offset at which the next read is sequential
 	size       int64
@@ -279,7 +296,13 @@ type prefetcher struct {
 // NewReader opens the file at path on cfg's storage backend for
 // block-buffered reading.
 func NewReader(path string, cfg iomodel.Config) (*Reader, error) {
-	f, err := cfg.Backend().Open(path)
+	ret := newRetrier(cfg)
+	var f storage.File
+	err := ret.do(func() error {
+		var oerr error
+		f, oerr = cfg.Backend().Open(path)
+		return oerr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("blockio: open %s: %w", path, err)
 	}
@@ -292,7 +315,7 @@ func NewReader(path string, cfg iomodel.Config) (*Reader, error) {
 	if bs <= 0 {
 		bs = iomodel.DefaultBlockSize
 	}
-	r := &Reader{f: f, buf: make([]byte, bs), blockSize: bs, stats: cfg.Stats, size: size}
+	r := &Reader{f: f, buf: make([]byte, bs), blockSize: bs, stats: cfg.Stats, ret: ret, size: size}
 	if cfg.WorkerCount() > 1 && r.size > int64(bs) {
 		r.startPrefetch(0)
 	}
@@ -319,7 +342,7 @@ func (r *Reader) startPrefetch(from int64) {
 			case <-pf.stop:
 				return
 			}
-			n, err := r.f.ReadAt(buf, off)
+			n, err := r.ret.readAt(r.f, buf, off)
 			if err == io.EOF && n > 0 {
 				err = nil // Size() bounds the loop; a short final block is not an error
 			}
@@ -390,7 +413,7 @@ func (r *Reader) fill() error {
 		r.nextSeq = r.fileOffset
 		return nil
 	}
-	n, err := r.f.ReadAt(r.buf, r.fileOffset)
+	n, err := r.ret.readAt(r.f, r.buf, r.fileOffset)
 	if n == 0 {
 		if err == io.EOF || err == nil {
 			return io.EOF

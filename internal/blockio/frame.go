@@ -2,7 +2,11 @@ package blockio
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
+
+	"extscc/internal/record"
 )
 
 // Self-describing block frame.  Record files written with a variable-length
@@ -12,15 +16,23 @@ import (
 // family carry no frames at all and remain byte-identical to the files this
 // repository wrote before codecs became pluggable.
 //
-// Frame layout (all integers little-endian):
+// Version-2 frame layout (all integers little-endian):
 //
 //	offset size field
 //	0      4    magic 0xEC 0x5C 0xC0 0xDE ("ExtSCC code")
-//	4      1    frame-format version (currently 1)
+//	4      1    frame-format version (2)
 //	5      1    codec id (record.CodecID)
 //	6      4    record count
 //	10     4    payload length in bytes
-//	14     n    payload (codec-specific, see internal/record/doc.go)
+//	14     4    CRC-32C (Castagnoli) over bytes [0,14) and the payload
+//	18     n    payload (codec-specific, see internal/record/doc.go)
+//
+// Version 1 is the same layout without the CRC field (14-byte header, no
+// integrity check); writers emit version 2 only, readers accept both, and the
+// change is append-only: every version-1 file any previous build wrote stays
+// readable.  The CRC covers the header fields and the payload, so a single
+// flipped bit anywhere in a frame — count, length, codec id or data — fails
+// verification instead of decoding into silently wrong records.
 //
 // Frames are charged to the I/O model like any other bytes: the blockio
 // Writer/Reader beneath them still transfers whole blocks of cfg.BlockSize
@@ -29,37 +41,112 @@ import (
 //
 // Detection caveat: a frameless fixed-codec file whose first record happens
 // to begin with the four magic bytes (a node id of 0xDEC05CEC ≈ 3.74 billion)
-// would be misdetected as framed.  The pipeline's own files never hit this —
-// framed intermediates are always written with a codec the reader then
-// validates — but external inputs with node ids in that range should be
-// staged through a Source rather than handed over as raw fixed files.
+// could in principle be misdetected as framed.  ParseFrameHeader narrows the
+// window to near zero: the following bytes must also form a known version, a
+// registered codec id, and a sane count/length pair, and any of those checks
+// failing sends the reader down the fixed-layout fallback.  The pipeline's
+// own files never hit this — framed intermediates are always written with a
+// codec the reader then validates.
 const (
-	// FrameVersion is the current frame-format version.
-	FrameVersion = 1
-	// FrameHeaderSize is the encoded size of a frame header in bytes.
-	FrameHeaderSize = 14
+	// FrameVersion1 is the historical CRC-less frame format.
+	FrameVersion1 = 1
+	// FrameVersion2 adds the CRC-32C field.
+	FrameVersion2 = 2
+	// FrameVersion is the version new frames are written with.
+	FrameVersion = FrameVersion2
+	// FrameHeaderSizeV1 is the encoded size of a version-1 header.
+	FrameHeaderSizeV1 = 14
+	// FrameHeaderSize is the encoded size of a current-version header in
+	// bytes; no version's header is larger.
+	FrameHeaderSize = 18
+	// crcOffset is where the version-2 CRC field lives; the CRC input is the
+	// header up to this offset plus the payload.
+	crcOffset = 14
+	// MaxFramePayload caps the payload length ParseFrameHeader accepts.  Real
+	// frames never exceed one block (the writer caps records per frame), so
+	// the bound is far above any configured block size while keeping a
+	// garbage length from a magic-byte collision — up to 4 GiB in a uint32 —
+	// from driving a huge allocation.
+	MaxFramePayload = 64 << 20
 )
 
 // frameMagic are the four leading bytes of every frame.
 var frameMagic = [4]byte{0xEC, 0x5C, 0xC0, 0xDE}
 
+// castagnoli is the CRC-32C table (the polynomial with hardware support on
+// both amd64 and arm64, and the one storage formats conventionally use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is the sentinel every detected-corruption error matches with
+// errors.Is: CRC mismatches, malformed frame headers mid-file, truncated or
+// undecodable payloads.  It separates "the bytes are wrong" from transient
+// I/O failures — a corrupt frame reads the same on every retry.
+var ErrCorrupt = errors.New("corrupt data")
+
+// CorruptError reports detected corruption, naming the file, the index of
+// the corrupt frame within it, and the byte offset the frame starts at.  It
+// matches ErrCorrupt with errors.Is.
+type CorruptError struct {
+	// Path is the corrupt file.
+	Path string
+	// Frame is the 0-based index of the corrupt frame within the file (-1
+	// when the failure is not attributable to one frame).
+	Frame int64
+	// Offset is the byte offset at which the corrupt frame's header starts.
+	Offset int64
+	// Detail says what failed (CRC mismatch, bad header, short payload...).
+	Detail string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("%s: corrupt frame %d at byte %d: %s", e.Path, e.Frame, e.Offset, e.Detail)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) match.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
 // FrameHeader describes one frame of a framed record file.
 type FrameHeader struct {
+	// Version is the frame-format version the header was parsed from (or is
+	// to be written as; PutFrameHeader always writes FrameVersion).
+	Version byte
 	// Codec is the record.CodecID of the payload encoding.
 	Codec byte
 	// Count is the number of records in the frame.
 	Count uint32
 	// Payload is the payload length in bytes.
 	Payload uint32
+	// CRC is the CRC-32C over the header prefix and the payload (version-2
+	// frames only; zero for version 1).
+	CRC uint32
 }
 
-// PutFrameHeader encodes h into dst, which must have FrameHeaderSize bytes.
-func PutFrameHeader(dst []byte, h FrameHeader) {
+// HeaderSize returns the encoded size of the header for its version.
+func (h FrameHeader) HeaderSize() int {
+	if h.Version == FrameVersion1 {
+		return FrameHeaderSizeV1
+	}
+	return FrameHeaderSize
+}
+
+// FrameCRC computes the version-2 integrity checksum: CRC-32C over the first
+// crcOffset bytes of the encoded header followed by the payload.
+func FrameCRC(header, payload []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, header[:crcOffset])
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// PutFrameHeader encodes a current-version header for payload into dst,
+// which must have FrameHeaderSize bytes, computing the CRC over the header
+// fields and the payload bytes.
+func PutFrameHeader(dst []byte, h FrameHeader, payload []byte) {
 	copy(dst[0:4], frameMagic[:])
 	dst[4] = FrameVersion
 	dst[5] = h.Codec
 	binary.LittleEndian.PutUint32(dst[6:10], h.Count)
 	binary.LittleEndian.PutUint32(dst[10:14], h.Payload)
+	binary.LittleEndian.PutUint32(dst[14:18], FrameCRC(dst, payload))
 }
 
 // HasFrameMagic reports whether prefix (at least 4 bytes) starts with the
@@ -69,20 +156,70 @@ func HasFrameMagic(prefix []byte) bool {
 	return len(prefix) >= 4 && [4]byte(prefix[0:4]) == frameMagic
 }
 
-// ParseFrameHeader decodes a frame header, validating magic and version.
+// FrameHeaderLen inspects a header prefix (magic plus version byte, 5 bytes)
+// and returns the full encoded header length of that version.  It is how a
+// streaming reader knows whether 4 more CRC bytes follow the common fields.
+func FrameHeaderLen(prefix []byte) (int, error) {
+	if len(prefix) < 5 {
+		return 0, fmt.Errorf("blockio: frame header prefix needs 5 bytes, have %d", len(prefix))
+	}
+	if !HasFrameMagic(prefix) {
+		return 0, fmt.Errorf("blockio: bad frame magic % x", prefix[0:4])
+	}
+	switch prefix[4] {
+	case FrameVersion1:
+		return FrameHeaderSizeV1, nil
+	case FrameVersion2:
+		return FrameHeaderSize, nil
+	}
+	return 0, fmt.Errorf("blockio: unsupported frame version %d (this build reads versions %d and %d)", prefix[4], FrameVersion1, FrameVersion2)
+}
+
+// ParseFrameHeader decodes and validates a frame header.  src must hold the
+// full header of its version (FrameHeaderLen bytes).  Beyond magic and
+// version, the codec id must be registered and the count/length pair sane —
+// a payload within MaxFramePayload and no more records than payload bytes —
+// so garbage following a magic-byte collision fails here, fast, instead of
+// driving a huge allocation downstream.
 func ParseFrameHeader(src []byte) (FrameHeader, error) {
-	if len(src) < FrameHeaderSize {
-		return FrameHeader{}, fmt.Errorf("blockio: frame header needs %d bytes, have %d", FrameHeaderSize, len(src))
+	n, err := FrameHeaderLen(src)
+	if err != nil {
+		return FrameHeader{}, err
 	}
-	if !HasFrameMagic(src) {
-		return FrameHeader{}, fmt.Errorf("blockio: bad frame magic % x", src[0:4])
+	if len(src) < n {
+		return FrameHeader{}, fmt.Errorf("blockio: version-%d frame header needs %d bytes, have %d", src[4], n, len(src))
 	}
-	if src[4] != FrameVersion {
-		return FrameHeader{}, fmt.Errorf("blockio: unsupported frame version %d (this build reads version %d)", src[4], FrameVersion)
-	}
-	return FrameHeader{
+	h := FrameHeader{
+		Version: src[4],
 		Codec:   src[5],
 		Count:   binary.LittleEndian.Uint32(src[6:10]),
 		Payload: binary.LittleEndian.Uint32(src[10:14]),
-	}, nil
+	}
+	if !record.KnownCodecID(record.CodecID(h.Codec)) {
+		return FrameHeader{}, fmt.Errorf("blockio: frame names unregistered codec id %d", h.Codec)
+	}
+	if h.Payload > MaxFramePayload {
+		return FrameHeader{}, fmt.Errorf("blockio: frame payload length %d exceeds the %d-byte frame cap", h.Payload, MaxFramePayload)
+	}
+	if uint64(h.Count) > uint64(h.Payload) {
+		return FrameHeader{}, fmt.Errorf("blockio: frame claims %d records in %d payload bytes", h.Count, h.Payload)
+	}
+	if h.Version == FrameVersion2 {
+		h.CRC = binary.LittleEndian.Uint32(src[14:18])
+	}
+	return h, nil
+}
+
+// VerifyFrame checks a version-2 frame's CRC against its header and payload
+// bytes (header holds the encoded header, payload the exact payload).  It
+// returns the mismatch detail for CorruptError, or "" when the frame is
+// intact or version 1 (which carries no checksum).
+func VerifyFrame(h FrameHeader, header, payload []byte) string {
+	if h.Version != FrameVersion2 {
+		return ""
+	}
+	if got := FrameCRC(header, payload); got != h.CRC {
+		return fmt.Sprintf("CRC-32C mismatch: stored %08x, computed %08x", h.CRC, got)
+	}
+	return ""
 }

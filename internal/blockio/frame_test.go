@@ -1,29 +1,97 @@
 package blockio
 
 import (
+	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 )
 
 func TestFrameHeaderRoundTrip(t *testing.T) {
-	h := FrameHeader{Codec: 4, Count: 123456, Payload: 987654}
+	payload := []byte("twelve bytes")
+	h := FrameHeader{Codec: 4, Count: 7, Payload: uint32(len(payload))}
 	buf := make([]byte, FrameHeaderSize)
-	PutFrameHeader(buf, h)
+	PutFrameHeader(buf, h, payload)
 	if !HasFrameMagic(buf) {
 		t.Fatal("encoded header does not carry the frame magic")
+	}
+	if n, err := FrameHeaderLen(buf); err != nil || n != FrameHeaderSize {
+		t.Fatalf("FrameHeaderLen = %d, %v; want %d, nil", n, err, FrameHeaderSize)
 	}
 	got, err := ParseFrameHeader(buf)
 	if err != nil {
 		t.Fatalf("ParseFrameHeader: %v", err)
 	}
-	if got != h {
-		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	want := FrameHeader{Version: FrameVersion2, Codec: 4, Count: 7, Payload: uint32(len(payload)), CRC: FrameCRC(buf, payload)}
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+	if detail := VerifyFrame(got, buf, payload); detail != "" {
+		t.Fatalf("VerifyFrame on intact frame: %s", detail)
+	}
+}
+
+func TestVerifyFrameDetectsAnyFlippedBit(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	h := FrameHeader{Codec: 1, Count: 5, Payload: 5}
+	buf := make([]byte, FrameHeaderSize)
+	PutFrameHeader(buf, h, payload)
+	parsed, err := ParseFrameHeader(buf)
+	if err != nil {
+		t.Fatalf("ParseFrameHeader: %v", err)
+	}
+	for i := range payload {
+		for bit := 0; bit < 8; bit++ {
+			corrupted := append([]byte(nil), payload...)
+			corrupted[i] ^= 1 << bit
+			if detail := VerifyFrame(parsed, buf, corrupted); detail == "" {
+				t.Fatalf("flipping payload byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+	// Header corruption in the CRC-covered prefix is detected too.
+	for i := 0; i < crcOffset; i++ {
+		corrupted := append([]byte(nil), buf...)
+		corrupted[i] ^= 1
+		ph, err := ParseFrameHeader(corrupted)
+		if err != nil {
+			continue // rejected before verification: also a detection
+		}
+		if detail := VerifyFrame(ph, corrupted, payload); detail == "" {
+			t.Fatalf("flipping header byte %d went undetected", i)
+		}
+	}
+}
+
+func TestVersion1FramesStillParse(t *testing.T) {
+	// Hand-build a version-1 (CRC-less, 14-byte) header as historical files
+	// carry; readers must keep accepting it.
+	buf := make([]byte, FrameHeaderSizeV1)
+	copy(buf, []byte{0xEC, 0x5C, 0xC0, 0xDE})
+	buf[4] = FrameVersion1
+	buf[5] = 2
+	binary.LittleEndian.PutUint32(buf[6:10], 9)
+	binary.LittleEndian.PutUint32(buf[10:14], 99)
+	if n, err := FrameHeaderLen(buf); err != nil || n != FrameHeaderSizeV1 {
+		t.Fatalf("FrameHeaderLen = %d, %v; want %d, nil", n, err, FrameHeaderSizeV1)
+	}
+	h, err := ParseFrameHeader(buf)
+	if err != nil {
+		t.Fatalf("ParseFrameHeader: %v", err)
+	}
+	want := FrameHeader{Version: FrameVersion1, Codec: 2, Count: 9, Payload: 99}
+	if h != want {
+		t.Fatalf("got %+v, want %+v", h, want)
+	}
+	if detail := VerifyFrame(h, buf, make([]byte, 99)); detail != "" {
+		t.Fatalf("version-1 frame failed verification (it carries no CRC): %s", detail)
 	}
 }
 
 func TestParseFrameHeaderRejects(t *testing.T) {
+	payload := []byte{42}
 	buf := make([]byte, FrameHeaderSize)
-	PutFrameHeader(buf, FrameHeader{Codec: 1, Count: 1, Payload: 1})
+	PutFrameHeader(buf, FrameHeader{Codec: 1, Count: 1, Payload: 1}, payload)
 
 	if _, err := ParseFrameHeader(buf[:FrameHeaderSize-1]); err == nil {
 		t.Fatal("short header parsed without error")
@@ -43,6 +111,41 @@ func TestParseFrameHeaderRejects(t *testing.T) {
 	_, err := ParseFrameHeader(future)
 	if err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("future version: got %v, want a version error", err)
+	}
+
+	// Adversarial headers: an unregistered codec id and insane lengths must
+	// be rejected before any allocation happens downstream.
+	unregistered := append([]byte(nil), buf...)
+	unregistered[5] = 0xEE
+	binary.LittleEndian.PutUint32(unregistered[14:18], FrameCRC(unregistered, payload))
+	if _, err := ParseFrameHeader(unregistered); err == nil || !strings.Contains(err.Error(), "codec") {
+		t.Fatalf("unregistered codec id: got %v, want a codec error", err)
+	}
+
+	huge := append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint32(huge[10:14], MaxFramePayload+1)
+	binary.LittleEndian.PutUint32(huge[14:18], FrameCRC(huge, payload))
+	if _, err := ParseFrameHeader(huge); err == nil || !strings.Contains(err.Error(), "payload length") {
+		t.Fatalf("oversized payload length: got %v, want a length error", err)
+	}
+
+	overCount := append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint32(overCount[6:10], 2) // 2 records in 1 payload byte
+	binary.LittleEndian.PutUint32(overCount[14:18], FrameCRC(overCount, payload))
+	if _, err := ParseFrameHeader(overCount); err == nil || !strings.Contains(err.Error(), "records") {
+		t.Fatalf("count > payload: got %v, want a count error", err)
+	}
+}
+
+func TestCorruptErrorMatchesSentinel(t *testing.T) {
+	err := error(&CorruptError{Path: "x.bin", Frame: 3, Offset: 1234, Detail: "CRC-32C mismatch"})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatal("CorruptError does not match ErrCorrupt")
+	}
+	for _, want := range []string{"x.bin", "frame 3", "byte 1234", "CRC-32C"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q lacks %q", err, want)
+		}
 	}
 }
 

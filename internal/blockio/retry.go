@@ -1,0 +1,73 @@
+package blockio
+
+import (
+	"time"
+
+	"extscc/internal/iomodel"
+	"extscc/internal/storage"
+)
+
+// retrier re-issues failed backend operations when the failure is transient
+// (storage.IsTransient) and the configuration allows retries.  The zero value
+// — cfg.Retries == 0, the default — never retries, keeping the historical
+// fail-fast behaviour exactly; permanent errors are never retried at any
+// setting.  Retries are invisible to the I/O accounting: blocks are charged
+// once per logical transfer, whether or not the transfer had to be re-issued.
+type retrier struct {
+	retries int
+	backoff time.Duration
+	stats   *iomodel.Stats
+}
+
+func newRetrier(cfg iomodel.Config) retrier {
+	return retrier{retries: cfg.Retries, backoff: cfg.RetryBackoff, stats: cfg.Stats}
+}
+
+// again reports whether a failed attempt should be retried, counting and
+// backing off (exponentially, starting at the configured backoff) when so.
+func (r retrier) again(attempt int, err error) bool {
+	if err == nil || attempt >= r.retries || !storage.IsTransient(err) {
+		return false
+	}
+	r.stats.CountRetry()
+	if r.backoff > 0 {
+		time.Sleep(r.backoff << min(attempt, 20))
+	}
+	return true
+}
+
+// do runs op with retry; op must be idempotent (opens, stats, creates).
+func (r retrier) do(op func() error) error {
+	err := op()
+	for attempt := 0; r.again(attempt, err); attempt++ {
+		err = op()
+	}
+	return err
+}
+
+// readAt is f.ReadAt with retry.  A read is naturally idempotent, so a
+// transient failure — or a short read it caused — is simply re-issued.
+func (r retrier) readAt(f storage.File, p []byte, off int64) (int, error) {
+	n, err := f.ReadAt(p, off)
+	for attempt := 0; r.again(attempt, err); attempt++ {
+		n, err = f.ReadAt(p, off)
+	}
+	return n, err
+}
+
+// writeBlock appends b to f, whose successfully persisted length is flushed
+// bytes, with retry.  Appends are not idempotent: a failed write may have
+// persisted a torn prefix of b, so before each retry the file is truncated
+// back to flushed, guaranteeing a retried append never duplicates or drops
+// bytes.  When the rollback itself fails the original write error surfaces —
+// the file state is unknown and the run must fail rather than retry blindly.
+func (r retrier) writeBlock(f storage.File, b []byte, flushed int64) error {
+	_, err := f.Write(b)
+	for attempt := 0; r.again(attempt, err); attempt++ {
+		if terr := f.Truncate(flushed); terr != nil {
+			return err
+		}
+		_, err = f.Write(b)
+	}
+	return err
+}

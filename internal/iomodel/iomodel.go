@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"extscc/internal/record"
 	"extscc/internal/storage"
@@ -33,6 +34,9 @@ const (
 	// node of the graph (the paper charges 4 bytes per node and keeps two
 	// node-sized arrays, i.e. 8 bytes per node, plus one block).
 	BytesPerNode = 8
+	// DefaultRetryBackoff is the first-retry wait applied when Retries > 0 and
+	// no explicit backoff was configured; each further retry doubles it.
+	DefaultRetryBackoff = 2 * time.Millisecond
 )
 
 // Config carries the I/O-model parameters of a run.  A zero Config is not
@@ -71,6 +75,16 @@ type Config struct {
 	// Workers it intentionally changes the accounted I/O counts; it never
 	// changes any computed labelling.
 	Codec string
+	// Retries is the number of times a failed backend operation (open, create,
+	// block read, block write) is retried when the failure is transient
+	// (storage.IsTransient).  0 — the default — disables retrying entirely,
+	// keeping the historical fail-fast behaviour byte-exact; permanent errors
+	// are never retried.  Retries never change the accounted I/O: a re-issued
+	// block transfer replaces the failed one, it is not charged twice.
+	Retries int
+	// RetryBackoff is the wait before the first retry; each further retry
+	// doubles it.  0 selects a small default when Retries > 0.
+	RetryBackoff time.Duration
 	// Storage is the backend every file of the run lives on.  nil selects
 	// the process default (the OS backend, unless the EXTSCC_STORAGE
 	// environment variable overrides it; see storage.Default).  The backend
@@ -108,6 +122,15 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("iomodel: negative worker count %d", c.Workers)
+	}
+	if c.Retries < 0 {
+		return c, fmt.Errorf("iomodel: negative retry count %d", c.Retries)
+	}
+	if c.RetryBackoff < 0 {
+		return c, fmt.Errorf("iomodel: negative retry backoff %v", c.RetryBackoff)
+	}
+	if c.Retries > 0 && c.RetryBackoff == 0 {
+		c.RetryBackoff = DefaultRetryBackoff
 	}
 	if c.Codec != "" && !record.ValidFamily(c.Codec) {
 		return c, fmt.Errorf("iomodel: unknown codec family %q (known: %v)", c.Codec, record.Families())
@@ -221,6 +244,8 @@ type Stats struct {
 	recordsScanned   atomic.Int64
 	inMemorySolves   atomic.Int64
 	semiExternalRuns atomic.Int64
+	retries          atomic.Int64
+	corruptFrames    atomic.Int64
 }
 
 // CountRead records the transfer of one block read of n bytes; random marks a
@@ -310,6 +335,22 @@ func (s *Stats) CountSemiExternalRun() {
 	s.semiExternalRuns.Add(1)
 }
 
+// CountRetry records one retried backend operation after a transient failure.
+func (s *Stats) CountRetry() {
+	if s == nil {
+		return
+	}
+	s.retries.Add(1)
+}
+
+// CountCorrupt records one frame that failed integrity verification.
+func (s *Stats) CountCorrupt() {
+	if s == nil {
+		return
+	}
+	s.corruptFrames.Add(1)
+}
+
 // Snapshot is an immutable copy of the counters of a Stats.
 type Snapshot struct {
 	ReadBlocks       int64
@@ -326,6 +367,8 @@ type Snapshot struct {
 	RecordsScanned   int64
 	InMemorySolves   int64
 	SemiExternalRuns int64
+	Retries          int64
+	CorruptFrames    int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -348,6 +391,8 @@ func (s *Stats) Snapshot() Snapshot {
 		RecordsScanned:   s.recordsScanned.Load(),
 		InMemorySolves:   s.inMemorySolves.Load(),
 		SemiExternalRuns: s.semiExternalRuns.Load(),
+		Retries:          s.retries.Load(),
+		CorruptFrames:    s.corruptFrames.Load(),
 	}
 }
 
@@ -393,6 +438,8 @@ func (sn Snapshot) Sub(other Snapshot) Snapshot {
 		RecordsScanned:   sn.RecordsScanned - other.RecordsScanned,
 		InMemorySolves:   sn.InMemorySolves - other.InMemorySolves,
 		SemiExternalRuns: sn.SemiExternalRuns - other.SemiExternalRuns,
+		Retries:          sn.Retries - other.Retries,
+		CorruptFrames:    sn.CorruptFrames - other.CorruptFrames,
 	}
 }
 
@@ -413,6 +460,8 @@ func (sn Snapshot) Add(other Snapshot) Snapshot {
 		RecordsScanned:   sn.RecordsScanned + other.RecordsScanned,
 		InMemorySolves:   sn.InMemorySolves + other.InMemorySolves,
 		SemiExternalRuns: sn.SemiExternalRuns + other.SemiExternalRuns,
+		Retries:          sn.Retries + other.Retries,
+		CorruptFrames:    sn.CorruptFrames + other.CorruptFrames,
 	}
 }
 

@@ -108,8 +108,9 @@ func (w *Writer[T]) Write(rec T) error {
 	return nil
 }
 
-// flushFrame encodes the batched records as one self-describing frame and
-// hands it to the block writer.
+// flushFrame encodes the batched records as one self-describing frame —
+// current format version, CRC-32C over header and payload — and hands it to
+// the block writer.
 func (w *Writer[T]) flushFrame() error {
 	if len(w.batch) == 0 {
 		return nil
@@ -119,7 +120,7 @@ func (w *Writer[T]) flushFrame() error {
 		Codec:   byte(w.bc.ID()),
 		Count:   uint32(len(w.batch)),
 		Payload: uint32(len(w.frame) - blockio.FrameHeaderSize),
-	})
+	}, w.frame[blockio.FrameHeaderSize:])
 	if _, err := w.w.Write(w.frame); err != nil {
 		return err
 	}
@@ -166,12 +167,18 @@ type Reader[T any] struct {
 	pre    []byte
 	preOff int
 
-	// Framed mode.
-	bc      record.BlockCodec[T]
-	batch   []T
-	bi      int
-	payload []byte
-	pending *blockio.FrameHeader
+	// Framed mode.  pendingHead holds the raw bytes of the header sniffed at
+	// open (needed to verify that frame's CRC); frameIdx/frameOff track the
+	// index and byte offset of the frame currently being read, so corruption
+	// errors can name the exact frame.
+	bc          record.BlockCodec[T]
+	batch       []T
+	bi          int
+	payload     []byte
+	pending     *blockio.FrameHeader
+	pendingHead []byte
+	frameIdx    int64
+	frameOff    int64
 }
 
 // NewReader opens a record file for sequential reading, sniffing its layout
@@ -191,14 +198,30 @@ func NewReader[T any](path string, codec record.Codec[T], cfg iomodel.Config) (*
 		br.Close()
 		return nil, err
 	}
-	if br.Size() >= blockio.FrameHeaderSize {
-		head := make([]byte, blockio.FrameHeaderSize)
+	if br.Size() >= blockio.FrameHeaderSizeV1 {
+		head := make([]byte, blockio.FrameHeaderSizeV1, blockio.FrameHeaderSize)
 		if err := br.ReadFull(head); err != nil {
 			return fail(fmt.Errorf("recio: read head of %s: %w", path, err))
 		}
 		if blockio.HasFrameMagic(head) {
-			h, err := blockio.ParseFrameHeader(head)
-			if err == nil {
+			// The header length depends on the version byte: version-2
+			// headers carry 4 CRC bytes after the common fields.
+			hl, herr := blockio.FrameHeaderLen(head)
+			if herr == nil && hl > len(head) {
+				if br.Size() >= int64(hl) {
+					head = head[:hl]
+					if err := br.ReadFull(head[blockio.FrameHeaderSizeV1:]); err != nil {
+						return fail(fmt.Errorf("recio: read head of %s: %w", path, err))
+					}
+				} else {
+					herr = fmt.Errorf("blockio: file shorter than its own %d-byte frame header", hl)
+				}
+			}
+			var h blockio.FrameHeader
+			if herr == nil {
+				h, herr = blockio.ParseFrameHeader(head)
+			}
+			if herr == nil {
 				// A well-formed header is a framed file; a codec ID that does
 				// not resolve for T means it holds a different record type
 				// (or a codec this build does not know), which is always an
@@ -209,16 +232,17 @@ func NewReader[T any](path string, codec record.Codec[T], cfg iomodel.Config) (*
 				}
 				r.bc = bc
 				r.pending = &h
+				r.pendingHead = append([]byte(nil), head...)
 				return r, nil
 			}
-			// The magic matched but the header is malformed (bad version
-			// byte): the signature of a fixed file whose first node id
-			// happens to be the magic bytes.  Fall back to the fixed layout
-			// when its size arithmetic works out; otherwise surface the
-			// header error (the file is a framed format this build cannot
-			// read, or corrupt).
+			// The magic matched but the header is malformed (bad version,
+			// unregistered codec id, insane lengths): the signature of a
+			// fixed file whose first node id happens to be the magic bytes.
+			// Fall back to the fixed layout when its size arithmetic works
+			// out; otherwise surface the header error (the file is a framed
+			// format this build cannot read, or corrupt).
 			if br.Size()%int64(codec.Size()) != 0 {
-				return fail(fmt.Errorf("recio: %s: %w", path, err))
+				return fail(fmt.Errorf("recio: %s: %w", path, herr))
 			}
 		}
 		r.pre = head
@@ -273,37 +297,60 @@ func (r *Reader[T]) readFull(p []byte) error {
 	return err
 }
 
-// nextFrame loads the next frame's records into the batch.
+// corrupt builds the typed corruption error for the frame currently being
+// read, naming the file, the frame index and the byte offset of its header.
+func (r *Reader[T]) corrupt(off int64, detail string) error {
+	r.stats.CountCorrupt()
+	return fmt.Errorf("recio: %w", &blockio.CorruptError{Path: r.Name(), Frame: r.frameIdx, Offset: off, Detail: detail})
+}
+
+// nextFrame loads the next frame's records into the batch, verifying the
+// frame's integrity: the header must parse and — for version-2 frames — the
+// CRC-32C over header and payload must match.  Any mismatch, truncation or
+// decode failure surfaces as a blockio.CorruptError (errors.Is ErrCorrupt),
+// never as wrong records.
 func (r *Reader[T]) nextFrame() error {
 	for {
 		var h blockio.FrameHeader
+		var head []byte
+		start := r.frameOff
 		if r.pending != nil {
 			h, r.pending = *r.pending, nil
+			head, r.pendingHead = r.pendingHead, nil
 		} else {
-			var head [blockio.FrameHeaderSize]byte
-			if err := r.r.ReadFull(head[:]); err != nil {
+			var buf [blockio.FrameHeaderSize]byte
+			if err := r.readFull(buf[:blockio.FrameHeaderSizeV1]); err != nil {
 				if err == io.EOF {
 					return io.EOF
 				}
+				if err == io.ErrUnexpectedEOF {
+					return r.corrupt(start, "truncated frame header")
+				}
 				return fmt.Errorf("recio: read frame header of %s: %w", r.Name(), err)
 			}
-			var err error
-			h, err = blockio.ParseFrameHeader(head[:])
+			hl, err := blockio.FrameHeaderLen(buf[:])
 			if err != nil {
-				return fmt.Errorf("recio: %s: %w", r.Name(), err)
+				return r.corrupt(start, err.Error())
+			}
+			if hl > blockio.FrameHeaderSizeV1 {
+				if err := r.readFull(buf[blockio.FrameHeaderSizeV1:hl]); err != nil {
+					return r.corrupt(start, "truncated frame header")
+				}
+			}
+			head = buf[:hl]
+			h, err = blockio.ParseFrameHeader(head)
+			if err != nil {
+				return r.corrupt(start, err.Error())
 			}
 		}
 		if record.CodecID(h.Codec) != r.bc.ID() {
 			return fmt.Errorf("recio: %s: frame codec id %d, file opened with codec id %d", r.Name(), h.Codec, r.bc.ID())
 		}
-		// Sanity bounds before allocating: the payload cannot exceed the
-		// file, and every record costs at least one payload byte, so a
-		// corrupt count cannot force an oversized batch allocation.
+		// Sanity bound before allocating: the payload cannot exceed the file
+		// (ParseFrameHeader already capped it globally and bounded the record
+		// count by the payload bytes).
 		if int64(h.Payload) > r.r.Size() {
-			return fmt.Errorf("recio: %s: frame payload length %d exceeds file size %d", r.Name(), h.Payload, r.r.Size())
-		}
-		if int64(h.Count) > int64(h.Payload) {
-			return fmt.Errorf("recio: %s: frame claims %d records in %d payload bytes", r.Name(), h.Count, h.Payload)
+			return r.corrupt(start, fmt.Sprintf("frame payload length %d exceeds file size %d", h.Payload, r.r.Size()))
 		}
 		if cap(r.payload) < int(h.Payload) {
 			r.payload = make([]byte, h.Payload)
@@ -311,16 +358,21 @@ func (r *Reader[T]) nextFrame() error {
 		pb := r.payload[:h.Payload]
 		if err := r.readFull(pb); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return fmt.Errorf("recio: %s: truncated frame payload", r.Name())
+				return r.corrupt(start, "truncated frame payload")
 			}
 			return err
+		}
+		if detail := blockio.VerifyFrame(h, head, pb); detail != "" {
+			return r.corrupt(start, detail)
 		}
 		r.batch = r.batch[:0]
 		var err error
 		r.batch, err = r.bc.DecodeBlock(pb, int(h.Count), r.batch)
 		if err != nil {
-			return fmt.Errorf("recio: %s: %w", r.Name(), err)
+			return r.corrupt(start, err.Error())
 		}
+		r.frameIdx++
+		r.frameOff = start + int64(len(head)) + int64(h.Payload)
 		r.bi = 0
 		if len(r.batch) > 0 {
 			return nil

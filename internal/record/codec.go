@@ -42,6 +42,15 @@ const (
 	CodecVarintEdgeSCC    CodecID = 6
 )
 
+// KnownCodecID reports whether id is registered for use in frame headers.
+// CodecFixed is not: it marks the frameless layout and never appears in a
+// frame, so a "frame" naming it is garbage.  Frame parsing rejects unknown
+// ids up front — a magic-byte collision in a fixed file then fails fast
+// instead of being decoded as a frame.
+func KnownCodecID(id CodecID) bool {
+	return id >= CodecVarintEdge && id <= CodecVarintEdgeSCC
+}
+
 // BlockCodec encodes and decodes records of type T one frame at a time.
 // Implementations are stateless: all delta state is local to one
 // AppendBlock/DecodeBlock call, so frames decode independently.

@@ -55,6 +55,17 @@
 // while producing exactly the frame's record count; anything else is a
 // corruption error.
 //
+// # Frame format version 2 (integrity)
+//
+// Writers emit frame-header version 2, which appends a CRC-32C (Castagnoli)
+// checksum of the first 14 header bytes plus the payload to the header (18
+// bytes total; see blockio.PutFrameHeader / blockio.VerifyFrame).  Readers
+// verify the checksum on every frame they decode and fail with
+// blockio.ErrCorrupt — naming the file, frame index and byte offset — on any
+// mismatch.  Version-1 (14-byte, CRC-less) frames written by earlier
+// revisions still parse and decode; only the CRC verification is skipped for
+// them.  Fixed-family files remain frameless and carry no checksum.
+//
 // Future codecs extend the table above with a fresh CodecID; IDs are
 // append-only and never reused, so old files stay decodable.
 package record

@@ -1,0 +1,288 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseFaultSpec(t *testing.T) {
+	plan, err := ParseFaultSpec("op=write,n=3,mode=torn;op=read,n=10,mode=corrupt,seed=7,count=2,path=runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(plan.rules))
+	}
+	r0, r1 := plan.rules[0], plan.rules[1]
+	if r0.Op != OpWrite || r0.N != 3 || r0.Mode != ModeTorn || r0.Count != 1 {
+		t.Fatalf("rule 0 = %+v", r0)
+	}
+	if r1.Op != OpRead || r1.N != 10 || r1.Mode != ModeCorrupt || r1.Seed != 7 || r1.Count != 2 || r1.Path != "runs" {
+		t.Fatalf("rule 1 = %+v", r1)
+	}
+
+	for _, bad := range []string{
+		"",                  // no rules at all
+		"op=write",          // no n
+		"op=frobnicate,n=1", // unknown op
+		"n=0",               // n must be positive
+		"n=x",               // n must be an integer
+		"n=1,mode=sideways", // unknown mode
+		"n=1,count=-1",      // negative count
+		"n=1,seed=-2",       // negative seed
+		"n=1,color=red",     // unknown key
+		"nope",              // not key=value
+	} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("ParseFaultSpec(%q) accepted an invalid spec", bad)
+		}
+	}
+}
+
+func TestFaultPlanCountsAndFires(t *testing.T) {
+	rule := &FaultRule{Op: OpWrite, N: 2, Count: 1, Mode: ModeTransient}
+	plan := NewFaultPlan(rule)
+	b := NewFault(NewMem(), plan)
+	if b.Name() != "mem" {
+		t.Fatalf("wrapped backend renamed itself to %q", b.Name())
+	}
+
+	f, err := b.Create("/t/a.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("first write (before the fault point): %v", err)
+	}
+	_, err = f.Write([]byte("two"))
+	if err == nil {
+		t.Fatal("second write did not fault")
+	}
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrTransient) || !IsTransient(err) {
+		t.Fatalf("fault error %v does not match the sentinels", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Op != OpWrite || fe.N != 2 {
+		t.Fatalf("fault error detail = %+v", fe)
+	}
+	// Count=1: the next matching op succeeds again.
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("write after the fault window: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := plan.OpCount(OpWrite); got != 3 {
+		t.Fatalf("write op count = %d, want 3", got)
+	}
+	if got := plan.OpCount(OpCreate); got != 1 {
+		t.Fatalf("create op count = %d, want 1", got)
+	}
+	if got := plan.Injected(); got != 1 {
+		t.Fatalf("injected = %d, want 1", got)
+	}
+	if plan.TotalOps() != 5 { // create + 3 writes + close
+		t.Fatalf("total ops = %d, want 5 (%s)", plan.TotalOps(), plan.OpCounts())
+	}
+}
+
+func TestFaultPermanentIsNotTransient(t *testing.T) {
+	plan := NewFaultPlan(&FaultRule{Op: OpOpen, N: 1, Count: 1})
+	b := NewFault(NewMem(), plan)
+	_, err := b.Open("/t/missing.bin")
+	if err == nil {
+		t.Fatal("open did not fault")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("%v does not match ErrInjected", err)
+	}
+	if errors.Is(err, ErrTransient) || IsTransient(err) {
+		t.Fatalf("permanent fault %v claims to be transient", err)
+	}
+}
+
+func TestFaultTornWritePersistsPrefix(t *testing.T) {
+	inner := NewMem()
+	plan := NewFaultPlan(&FaultRule{Op: OpWrite, N: 1, Count: 1, Mode: ModeTorn})
+	b := NewFault(inner, plan)
+	f, err := b.Create("/t/torn.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("torn write error %v is not transient", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("torn write persisted %d bytes, want %d", n, len(payload)/2)
+	}
+	// The rollback primitive stays available: truncate and re-write succeed.
+	if err := f.Truncate(0); err != nil {
+		t.Fatalf("rollback truncate: %v", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		t.Fatalf("re-write after rollback: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(inner, "/t/torn.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("after rollback+rewrite the file holds %q, want %q", got, payload)
+	}
+}
+
+func TestFaultCorruptReadFlipsOneBitDeterministically(t *testing.T) {
+	inner := NewMem()
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	f, err := inner.Create("/t/c.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	read := func(seed uint64) []byte {
+		t.Helper()
+		b := NewFault(inner, NewFaultPlan(&FaultRule{Op: OpRead, N: 1, Count: 1, Mode: ModeCorrupt, Seed: seed}))
+		h, err := b.Open("/t/c.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		buf := make([]byte, len(payload))
+		if _, err := h.ReadAt(buf, 0); err != nil {
+			t.Fatalf("corrupt-mode read still fails: %v", err)
+		}
+		return buf
+	}
+
+	a, b2 := read(7), read(7)
+	if !bytes.Equal(a, b2) {
+		t.Fatal("the same seed corrupted different bits on two runs")
+	}
+	diff := 0
+	for i := range a {
+		if x := a[i] ^ payload[i]; x != 0 {
+			diff++
+			if x&(x-1) != 0 {
+				t.Fatalf("byte %d differs in more than one bit (%08b)", i, x)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes corrupted, want exactly 1", diff)
+	}
+}
+
+func TestFaultCloseStillReleasesHandle(t *testing.T) {
+	inner := NewMem()
+	plan := NewFaultPlan(&FaultRule{Op: OpClose, N: 1, Count: 1, Mode: ModeTransient})
+	b := NewFault(inner, plan)
+	f, err := b.Create("/t/x.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err == nil {
+		t.Fatal("close did not fault")
+	}
+	// The inner handle was closed despite the fault: a second close reports
+	// the backend's usual already-closed error, not success.
+	if err := f.Close(); err == nil {
+		t.Fatal("inner handle was left open by the faulted close")
+	}
+}
+
+func TestFaultPathFilterAndUnlimitedCount(t *testing.T) {
+	plan := NewFaultPlan(&FaultRule{Op: OpCreate, Path: "runs/", N: 1, Count: 0, Mode: ModeTransient})
+	b := NewFault(NewMem(), plan)
+	if _, err := b.Create("/t/other.bin"); err != nil {
+		t.Fatalf("create outside the path filter faulted: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Create(fmt.Sprintf("/t/runs/%d.bin", i)); err == nil {
+			t.Fatalf("create %d under the path filter did not fault (count=0 means forever)", i)
+		}
+	}
+	if got := plan.Injected(); got != 3 {
+		t.Fatalf("injected = %d, want 3", got)
+	}
+}
+
+// errTransientRPC simulates a custom backend error advertising retryability
+// through the Transient() bool hook instead of the ErrTransient sentinel.
+type errTransientRPC struct{}
+
+func (errTransientRPC) Error() string   { return "throttled" }
+func (errTransientRPC) Transient() bool { return true }
+
+func TestIsTransientHonorsInterface(t *testing.T) {
+	if !IsTransient(fmt.Errorf("rpc: %w", errTransientRPC{})) {
+		t.Fatal("wrapped Transient() bool error not recognised")
+	}
+	if IsTransient(errors.New("plain failure")) {
+		t.Fatal("plain error misclassified as transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil error misclassified as transient")
+	}
+}
+
+// TestFaultBackendContract runs the faulted wrapper (empty plan) through the
+// same create/read/rename/remove round trip as the raw backends, pinning the
+// wrapper's observational transparency.
+func TestFaultBackendContract(t *testing.T) {
+	for name, inner := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := NewFault(inner, nil)
+			dir := root(t, b)
+			p := filepath.Join(dir, "a.bin")
+			f, err := b.Create(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			q := filepath.Join(dir, "b.bin")
+			if err := b.Rename(p, q); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFile(b, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "hello" {
+				t.Fatalf("read back %q", got)
+			}
+			if err := b.Remove(q); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Open(q); !IsNotExist(err) {
+				t.Fatalf("open after remove: %v", err)
+			}
+			if b.Plan().Injected() != 0 {
+				t.Fatal("empty plan injected a fault")
+			}
+			if b.Plan().TotalOps() == 0 {
+				t.Fatal("empty plan counted nothing")
+			}
+		})
+	}
+}

@@ -194,8 +194,13 @@ func (f *memFile) errClosed(op string) error {
 
 func (f *memFile) Name() string { return f.name }
 
+// Close matches the OS backend's semantics: the first Close succeeds, any
+// further Close reports fs.ErrClosed, so a double-close bug surfaces
+// identically on both backends.
 func (f *memFile) Close() error {
-	f.closed.Store(true)
+	if f.closed.Swap(true) {
+		return f.errClosed("close")
+	}
 	return nil
 }
 

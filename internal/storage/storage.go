@@ -76,10 +76,41 @@ type Backend interface {
 // envVar selects the process-wide default backend; see Default.
 const envVar = "EXTSCC_STORAGE"
 
+// faultEnvVar injects faults into every backend resolved by name or default;
+// see ParseFaultSpec for the grammar.  CLIs and CI inherit fault injection
+// through it without code changes.
+const faultEnvVar = "EXTSCC_FAULT"
+
+// envFaultOnce parses EXTSCC_FAULT once; the single plan is shared by every
+// wrapped backend so its op counters are process-global.
+var envFaultOnce = sync.OnceValues(func() (*FaultPlan, error) {
+	spec := os.Getenv(faultEnvVar)
+	if spec == "" {
+		return nil, nil
+	}
+	plan, err := ParseFaultSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("invalid %s environment variable: %w", faultEnvVar, err)
+	}
+	return plan, nil
+})
+
+// withEnvFault wraps b in the EXTSCC_FAULT plan when the variable is set.
+func withEnvFault(b Backend) (Backend, error) {
+	plan, err := envFaultOnce()
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		return b, nil
+	}
+	return NewFault(b, plan), nil
+}
+
 var defaultOnce = sync.OnceValues(func() (Backend, error) {
 	name := os.Getenv(envVar)
 	if name == "" {
-		return OS(), nil
+		return withEnvFault(OS())
 	}
 	return byExplicitName(name)
 })
@@ -90,11 +121,13 @@ var defaultOnce = sync.OnceValues(func() (Backend, error) {
 // CI runs the test suite once per backend).  An unknown value panics on the
 // first use: the variable is an explicit operator instruction, and falling
 // back silently would e.g. let a mistyped CI matrix entry re-run the OS
-// suite while reporting the mem leg green.
+// suite while reporting the mem leg green.  When the EXTSCC_FAULT variable is
+// set, the returned backend is wrapped in its fault plan (see ParseFaultSpec);
+// a malformed fault spec panics for the same reason.
 func Default() Backend {
 	b, err := defaultOnce()
 	if err != nil {
-		panic(fmt.Sprintf("storage: invalid %s environment variable: %v", envVar, err))
+		panic(fmt.Sprintf("invalid %s/%s environment: %v", envVar, faultEnvVar, err))
 	}
 	return b
 }
@@ -114,11 +147,14 @@ func ByName(name string) (Backend, error) {
 func byExplicitName(name string) (Backend, error) {
 	switch name {
 	case "os":
-		return OS(), nil
+		return withEnvFault(OS())
 	case "mem", "memory":
-		return SharedMem(), nil
+		return withEnvFault(SharedMem())
 	default:
-		return OS(), errors.New("storage: unknown backend " + name + " (known: os, mem)")
+		// The backend must be nil on error: returning a usable fallback next
+		// to the error let callers that dropped the error silently run the
+		// wrong backend (and report its name as green).
+		return nil, errors.New("storage: unknown backend " + name + " (known: os, mem)")
 	}
 }
 

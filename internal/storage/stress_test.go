@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestMemBackendConcurrentAbuse hammers one MemBackend from many goroutines
+// with overlapping Create/Write/WriteAt/ReadAt/List/Remove/RemoveAll on a
+// small set of colliding paths.  It asserts no panics and no data races (run
+// under -race in CI); the interleaved results themselves are unspecified, so
+// errors from individual operations are expected and ignored.
+func TestMemBackendConcurrentAbuse(t *testing.T) {
+	m := NewMem()
+	const (
+		goroutines = 8
+		iterations = 200
+		paths      = 4
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; i < iterations; i++ {
+				p := fmt.Sprintf("/stress/dir%d/f%d.bin", i%2, (g+i)%paths)
+				switch i % 5 {
+				case 0:
+					if f, err := m.Create(p); err == nil {
+						f.Write([]byte("abcdefgh"))
+						f.WriteAt([]byte("xy"), int64(i%32))
+						f.Close()
+					}
+				case 1:
+					if f, err := m.Open(p); err == nil {
+						f.ReadAt(buf, 0)
+						f.Size()
+						f.Close()
+					}
+				case 2:
+					m.List("/stress/dir0")
+					m.Len()
+					m.BytesHeld()
+				case 3:
+					m.Remove(p)
+				case 4:
+					if i%50 == 4 {
+						m.RemoveAll("/stress/dir1")
+					} else {
+						m.Rename(p, p+".moved")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The store must still be coherent: a fresh create/read round trip works.
+	f, err := m.Create("/stress/final.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("done")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(m, "/stress/final.bin")
+	if err != nil || string(got) != "done" {
+		t.Fatalf("round trip after the stress: %q, %v", got, err)
+	}
+}
+
+// TestFileLifecycleContract pins the handle lifecycle on both backends: the
+// first Close succeeds, a second Close fails, every operation on a closed
+// handle fails, and a handle opened before Remove keeps serving its bytes
+// (unlink semantics).
+func TestFileLifecycleContract(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			dir := root(t, b)
+			p := filepath.Join(dir, "life.bin")
+
+			f, err := b.Create(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatalf("first close: %v", err)
+			}
+			if err := f.Close(); err == nil {
+				t.Fatal("double close succeeded")
+			}
+			if _, err := f.Write([]byte("x")); err == nil {
+				t.Fatal("write on a closed handle succeeded")
+			}
+			if _, err := f.ReadAt(make([]byte, 1), 0); err == nil {
+				t.Fatal("read on a closed handle succeeded")
+			}
+			if _, err := f.Size(); err == nil {
+				t.Fatal("stat on a closed handle succeeded")
+			}
+
+			// Use after Remove: a handle opened before the unlink keeps
+			// reading the old bytes on both backends.
+			h, err := b.Open(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			if err := b.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Open(p); !IsNotExist(err) {
+				t.Fatalf("open after remove: %v", err)
+			}
+			buf := make([]byte, 7)
+			if _, err := h.ReadAt(buf, 0); err != nil && err != io.EOF {
+				t.Fatalf("read through a pre-remove handle: %v", err)
+			}
+			if string(buf) != "payload" {
+				t.Fatalf("pre-remove handle read %q, want %q", buf, "payload")
+			}
+		})
+	}
+}

@@ -42,6 +42,16 @@ type Stats struct {
 	// CodecFixed, above 1.0 when a compressing codec shrank the files, 0 when
 	// nothing was written.
 	CompressionRatio float64
+	// Retries is the number of transient storage failures the run recovered
+	// from by re-issuing the operation (0 unless WithRetry enabled retries
+	// and faults actually occurred).  Retried transfers are not double-counted
+	// in the I/O counters above.
+	Retries int64
+	// CorruptFrames is the number of frames that failed integrity
+	// verification during the run.  Any non-zero value fails the run with
+	// ErrCorrupt, so a successful Result always reports 0; the counter exists
+	// for post-mortem inspection by tools that snapshot mid-run.
+	CorruptFrames int64
 	// ContractionIterations is the number of contraction steps performed
 	// (0 for algorithms that do not contract).
 	ContractionIterations int

@@ -211,6 +211,9 @@ type GeneratorSpec struct {
 	Degree int
 	// Seed seeds the generator.
 	Seed int64
+	// Retries is the transient-failure retry budget per storage operation
+	// while writing the file (0 = fail fast; see WithRetry).
+	Retries int
 }
 
 type generatorSource struct {
@@ -250,6 +253,7 @@ func (s GeneratorSpec) WriteEdgeFileOn(backend Storage, path string) (int64, []N
 	cfg, err := iomodel.Config{
 		BlockSize: iomodel.DefaultBlockSize,
 		Memory:    iomodel.DefaultMemory,
+		Retries:   s.Retries,
 		Storage:   backend,
 	}.Validate()
 	if err != nil {
