@@ -70,17 +70,18 @@ bench-baseline:
 # Mirrors the `faultsweep` job: the systematic fault-injection sweep (both
 # storage backends x both codecs, sampled fault positions), the corruption
 # smoke (every flipped payload byte of a v2 frame must surface as
-# ErrCorrupt), and end-to-end CLI runs under an EXTSCC_FAULT plan — a
-# transient plan must be absorbed by -retry on both backends, and a
-# corrupting plan must fail the run with a typed corruption message, never a
-# wrong answer.
+# ErrCorrupt), and end-to-end CLI runs under an EXTSCC_FAULT plan — a torn
+# write plus a transient read must be absorbed by -retry on both backends
+# (the torn flavor on the os leg pins the truncate-and-rewrite recovery
+# against real seek-offset semantics), and a corrupting plan must fail the
+# run with a typed corruption message, never a wrong answer.
 faultsweep:
 	$(GO) test . ./internal/storage ./internal/recio ./internal/blockio \
-		-run 'Fault|Corrupt|Retry|Torn|Version1' -count=1
+		-run 'Fault|Corrupt|Retry|Torn|Version1|WriteAppends' -count=1
 	$(GO) run ./cmd/sccgen -kind web -nodes 20000 -out FAULT_graph.edges
-	EXTSCC_FAULT='op=write,n=5,mode=transient,path=extscc-engine-;op=read,n=40,mode=transient,path=extscc-engine-' \
+	EXTSCC_FAULT='op=write,n=5,mode=torn,path=extscc-engine-;op=read,n=40,mode=transient,path=extscc-engine-' \
 		EXTSCC_STORAGE=os $(GO) run ./cmd/sccrun -in FAULT_graph.edges -retry 3
-	EXTSCC_FAULT='op=write,n=5,mode=transient,path=extscc-engine-;op=read,n=40,mode=transient,path=extscc-engine-' \
+	EXTSCC_FAULT='op=write,n=5,mode=torn,path=extscc-engine-;op=read,n=40,mode=transient,path=extscc-engine-' \
 		EXTSCC_STORAGE=mem $(GO) run ./cmd/sccrun -in FAULT_graph.edges -retry 3 -codec varint
 	@echo "expecting the corrupting run below to fail with a corruption error:"
 	! EXTSCC_FAULT='op=read,n=1,count=0,mode=corrupt,path=extscc-engine-' \

@@ -177,6 +177,33 @@ func TestEngineFaultSweep(t *testing.T) {
 					}
 					assertClean(t, tag, inner, tempDir)
 				}
+
+				// The sampled positions select OpAny indices, so a short leg
+				// may never land its torn flavor on an actual Write (the last
+				// sample is a close/remove).  Pin one torn fault directly on
+				// the write path so every backend x codec leg exercises the
+				// truncate-and-rewrite recovery against its real Write
+				// semantics.
+				{
+					tag := "torn-write-pinned"
+					inner, tempDir := newBackend()
+					plan := storage.NewFaultPlan(&storage.FaultRule{
+						Op: storage.OpWrite, N: 2, Count: 1, Mode: storage.ModeTorn,
+					})
+					got := runFaulted(t, inner, tempDir, codec, 2, plan)
+					if got.err != nil {
+						t.Errorf("%s: torn write with retries failed: %v", tag, got.err)
+					} else {
+						if fmt.Sprint(got.labels) != fmt.Sprint(base.labels) {
+							t.Errorf("%s: succeeded with a different labelling", tag)
+						}
+						assertIOEqual(t, tag, got.stats, base.stats)
+						if got.stats.Retries == 0 {
+							t.Errorf("%s: recovery reports zero retries", tag)
+						}
+					}
+					assertClean(t, tag, inner, tempDir)
+				}
 				t.Logf("%s/%s: %d ops, %d sampled faults: %d recovered by retry, %d failed clean",
 					backendName, codec, base.ops, samples, recovered, failed)
 			})
@@ -226,28 +253,43 @@ func TestEngineRetryRecoversTransientFault(t *testing.T) {
 // TestEngineTornWriteRecovery pins the torn-page path: a torn write persists
 // half a block and fails; with retries the writer truncates the torn prefix
 // back and re-writes, and the final file bytes — and therefore the labelling
-// — are identical to the clean run.
+// — are identical to the clean run.  It runs on both backends: the mem
+// backend's Write genuinely appends, while the os backend's Write must not
+// be fooled by the stale seek offset a torn write leaves behind (writing
+// there would punch a zero-filled hole into the file).
 func TestEngineTornWriteRecovery(t *testing.T) {
-	mem := storage.NewMem()
-	base := runFaulted(t, mem, mem.TempPath(), extscc.CodecVarint, 0, storage.NewFaultPlan())
-	if base.err != nil {
-		t.Fatal(base.err)
+	for _, backendName := range []string{"mem", "os"} {
+		t.Run(backendName, func(t *testing.T) {
+			newBackend := func() (extscc.Storage, string) {
+				if backendName == "mem" {
+					m := storage.NewMem()
+					return m, m.TempPath()
+				}
+				return storage.OS(), t.TempDir()
+			}
+			inner, tempDir := newBackend()
+			base := runFaulted(t, inner, tempDir, extscc.CodecVarint, 0, storage.NewFaultPlan())
+			if base.err != nil {
+				t.Fatal(base.err)
+			}
+			inner2, tempDir2 := newBackend()
+			plan := storage.NewFaultPlan(&storage.FaultRule{
+				Op: storage.OpWrite, N: 2, Count: 1, Mode: storage.ModeTorn,
+			})
+			got := runFaulted(t, inner2, tempDir2, extscc.CodecVarint, 2, plan)
+			if got.err != nil {
+				t.Fatalf("torn write with retries failed: %v", got.err)
+			}
+			if got.stats.Retries == 0 {
+				t.Fatal("torn-write recovery reports zero retries")
+			}
+			if fmt.Sprint(got.labels) != fmt.Sprint(base.labels) {
+				t.Fatal("torn-write recovery produced a different labelling")
+			}
+			assertIOEqual(t, "torn", got.stats, base.stats)
+			assertClean(t, "torn", inner2, tempDir2)
+		})
 	}
-	mem2 := storage.NewMem()
-	plan := storage.NewFaultPlan(&storage.FaultRule{
-		Op: storage.OpWrite, N: 2, Count: 1, Mode: storage.ModeTorn,
-	})
-	got := runFaulted(t, mem2, mem2.TempPath(), extscc.CodecVarint, 2, plan)
-	if got.err != nil {
-		t.Fatalf("torn write with retries failed: %v", got.err)
-	}
-	if got.stats.Retries == 0 {
-		t.Fatal("torn-write recovery reports zero retries")
-	}
-	if fmt.Sprint(got.labels) != fmt.Sprint(base.labels) {
-		t.Fatal("torn-write recovery produced a different labelling")
-	}
-	assertIOEqual(t, "torn", got.stats, base.stats)
 }
 
 // TestEngineCorruptReadFailsTyped pins the integrity path end to end under

@@ -23,15 +23,25 @@ func newRetrier(cfg iomodel.Config) retrier {
 	return retrier{retries: cfg.Retries, backoff: cfg.RetryBackoff, stats: cfg.Stats}
 }
 
+// maxBackoff caps one retry wait.  Exponential growth from the configured
+// base reaches the cap quickly; without it a large retry budget (or a large
+// -retry flag) could stall a run for minutes on one persistently failing op.
+const maxBackoff = time.Second
+
 // again reports whether a failed attempt should be retried, counting and
-// backing off (exponentially, starting at the configured backoff) when so.
+// backing off (exponentially, starting at the configured backoff and capped
+// at maxBackoff per wait) when so.
 func (r retrier) again(attempt int, err error) bool {
 	if err == nil || attempt >= r.retries || !storage.IsTransient(err) {
 		return false
 	}
 	r.stats.CountRetry()
 	if r.backoff > 0 {
-		time.Sleep(r.backoff << min(attempt, 20))
+		d := r.backoff << min(attempt, 20)
+		if d <= 0 || d > maxBackoff { // <= 0: the shift overflowed
+			d = maxBackoff
+		}
+		time.Sleep(d)
 	}
 	return true
 }

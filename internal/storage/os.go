@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -73,7 +74,19 @@ type osFile struct {
 	f *os.File
 }
 
-func (o osFile) Write(p []byte) (int, error)              { return o.f.Write(p) }
+// Write appends p at the end of the file, as the File contract requires.
+// The explicit seek matters: os.File.Write writes at the current seek
+// offset, and after a torn write rolled back with Truncate the offset can
+// sit beyond EOF — writing there would leave a zero-filled hole that a
+// CRC-less fixed-layout file could never detect.  O_APPEND is not an
+// option because the same handle must also serve absolute-offset WriteAt
+// (the baseline's disk arrays), which Go rejects on append-mode files.
+func (o osFile) Write(p []byte) (int, error) {
+	if _, err := o.f.Seek(0, io.SeekEnd); err != nil {
+		return 0, err
+	}
+	return o.f.Write(p)
+}
 func (o osFile) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
 func (o osFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
 func (o osFile) Close() error                             { return o.f.Close() }

@@ -170,6 +170,81 @@ func TestBackendWriteAtTruncate(t *testing.T) {
 	}
 }
 
+// TestWriteAppendsAfterTruncate pins the File contract that Write appends at
+// EOF even when the handle's seek position sits beyond it.  This is exactly
+// the state a torn write rolled back with Truncate leaves an os.File in; a
+// Write honouring the stale offset would punch a zero-filled hole into the
+// file ("AAAA\x00\x00BBBB") — silent corruption under the CRC-less fixed
+// layout.
+func TestWriteAppendsAfterTruncate(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			dir := root(t, b)
+
+			// Direct sequence: an over-long append truncated back, then a
+			// fresh append, must produce contiguous bytes.
+			p := filepath.Join(dir, "direct.bin")
+			f, err := b.Create(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("AAAAAA")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Truncate(4); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("BBBB")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFile(b, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "AAAABBBB" {
+				t.Fatalf("file after truncate-then-append = %q, want \"AAAABBBB\"", got)
+			}
+
+			// The same sequence as the retrying block writer performs it: a
+			// torn write persists half the block and fails, the writer rolls
+			// back to the flushed length and re-issues the append.
+			fb := NewFault(b, NewFaultPlan(&FaultRule{
+				Op: OpWrite, N: 2, Count: 1, Mode: ModeTorn,
+			}))
+			p2 := filepath.Join(dir, "torn.bin")
+			tf, err := fb.Create(p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tf.Write([]byte("AAAA")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tf.Write([]byte("BBBB")); !IsTransient(err) {
+				t.Fatalf("torn write = %v, want an injected transient error", err)
+			}
+			if err := tf.Truncate(4); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tf.Write([]byte("BBBB")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tf.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err = ReadFile(b, p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "AAAABBBB" {
+				t.Fatalf("file after torn-write rollback = %q, want \"AAAABBBB\"", got)
+			}
+		})
+	}
+}
+
 func TestBackendMkdirTempAndRemoveAll(t *testing.T) {
 	for name, b := range backends(t) {
 		t.Run(name, func(t *testing.T) {
