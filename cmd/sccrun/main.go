@@ -38,7 +38,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count for the parallel sorter and overlapped I/O (0 = all CPUs, 1 = sequential)")
 	tempDir := flag.String("tmp", os.TempDir(), "directory for intermediate files")
 	storageName := flag.String("storage", "", "storage backend: os (default; local disk) or mem (diskless: the input is staged into RAM, all intermediates live in RAM, -out copies the labels back to disk)")
-	codecName := flag.String("codec", "", "record codec for intermediate files: fixed (default; byte-identical to the historical layout) or varint (delta+varint compressed frames, fewer bytes and block I/Os)")
+	codecName := flag.String("codec", "", "record codec for intermediate files: varint (default; delta+varint compressed frames, fewer bytes and block I/Os) or fixed (frameless record-indexed layout, byte-identical to the historical format)")
 	retry := flag.Int("retry", 0, "retry transient storage failures up to this many times per operation (0 = fail fast, the historical behaviour)")
 	maxDur := flag.Duration("max-duration", 0, "abort after this duration (0 = unlimited)")
 	maxIOs := flag.Int64("max-ios", 0, "abort after this many block I/Os, for algorithms that support the cap (0 = unlimited)")

@@ -185,12 +185,14 @@ func WithStorage(b Storage) Option {
 // accepted by WithCodec.
 const (
 	// CodecFixed is the historical fixed-size record layout, byte-identical
-	// to the files the engine wrote before codecs became pluggable (the
-	// default).
+	// to the files the engine wrote before codecs became pluggable.  It is
+	// the only layout that supports record-indexed seeks (Result.LabelOf
+	// without an in-memory table).
 	CodecFixed = record.FamilyFixed
-	// CodecVarint is the delta+varint block layout: intermediate files are
-	// written as self-describing compressed frames, shrinking every scan,
-	// sort run and merge — and with them the accounted block I/Os.
+	// CodecVarint is the delta+varint block layout (the default):
+	// intermediate files are written as self-describing compressed frames,
+	// shrinking every scan, sort run and merge — and with them the
+	// accounted block I/Os.
 	CodecVarint = record.FamilyVarint
 )
 
@@ -198,7 +200,7 @@ const (
 func Codecs() []string { return record.Families() }
 
 // WithCodec selects the record-codec family every intermediate file of a run
-// is written with: CodecFixed (the default) or CodecVarint.  Readers
+// is written with: CodecVarint (the default) or CodecFixed.  Readers
 // auto-detect the codec of each file from its self-describing frame header,
 // so inputs written under any family are accepted regardless of this setting.
 //
@@ -351,6 +353,8 @@ func (e *Engine) Run(ctx context.Context, src Source) (*Result, error) {
 		NumEdges:  g.NumEdges,
 		NumSCCs:   ares.NumSCCs,
 		LabelPath: ares.LabelPath,
+		EdgePath:  gf.EdgePath,
+		NodePath:  gf.NodePath,
 		Stats: Stats{
 			TotalIOs:              delta.TotalIOs(),
 			ReadIOs:               delta.ReadBlocks,

@@ -1,9 +1,10 @@
 // Reachability: the paper's second motivating application.  Reachability
 // indexes over general directed graphs first contract every SCC into a single
 // node, producing a DAG on which the actual index is built.  This example
-// runs the external SCC computation on a synthetic web-like graph, builds the
-// condensation DAG from the resulting labels, and answers a few reachability
-// queries by searching the (much smaller) DAG.
+// runs the external SCC computation on a synthetic web-like graph, condenses
+// it with internal/condense, and answers a few reachability queries — first
+// by BFS on the (much smaller) DAG, then through the 2-hop index the serving
+// subsystem uses for point queries.
 //
 // Run with:
 //
@@ -16,7 +17,9 @@ import (
 	"log"
 
 	"extscc"
+	"extscc/internal/condense"
 	"extscc/internal/graphgen"
+	"extscc/internal/iomodel"
 )
 
 func main() {
@@ -50,50 +53,15 @@ func main() {
 	}
 	fmt.Printf("graph: %d nodes, %d edges -> %d SCCs (DAG nodes)\n", res.NumNodes, len(edges), res.NumSCCs)
 
-	// Step 2: build the condensation DAG adjacency from the labels.
-	dag := map[uint32]map[uint32]struct{}{}
-	for _, e := range edges {
-		cu, cv := labelOf[e.U], labelOf[e.V]
-		if cu == cv {
-			continue
-		}
-		if dag[cu] == nil {
-			dag[cu] = map[uint32]struct{}{}
-		}
-		dag[cu][cv] = struct{}{}
-	}
-	dagEdges := 0
-	for _, ns := range dag {
-		dagEdges += len(ns)
-	}
+	// Step 2: condense.  For an in-memory edge list FromMemory suffices; an
+	// engine-scale graph would use condense.Build on the staged edge and
+	// label files instead (that is what internal/serve does on startup).
+	dag := condense.FromMemory(labelOf, edges)
 	fmt.Printf("condensation DAG: %d edges (%.1f%% of the original)\n",
-		dagEdges, 100*float64(dagEdges)/float64(len(edges)))
+		dag.NumEdges, 100*float64(dag.NumEdges)/float64(len(edges)))
 
 	// Step 3: answer reachability queries on the DAG: u reaches v iff the SCC
 	// of u reaches the SCC of v.
-	reaches := func(u, v extscc.NodeID) bool {
-		src, dst := labelOf[u], labelOf[v]
-		if src == dst {
-			return true
-		}
-		seen := map[uint32]struct{}{src: {}}
-		stack := []uint32{src}
-		for len(stack) > 0 {
-			c := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for n := range dag[c] {
-				if n == dst {
-					return true
-				}
-				if _, ok := seen[n]; !ok {
-					seen[n] = struct{}{}
-					stack = append(stack, n)
-				}
-			}
-		}
-		return false
-	}
-
 	queries := [][2]extscc.NodeID{
 		{0, 1},
 		{0, extscc.NodeID(p.NumNodes - 1)},
@@ -102,6 +70,28 @@ func main() {
 		{500, 10},
 	}
 	for _, q := range queries {
-		fmt.Printf("reach(%d, %d) = %v\n", q[0], q[1], reaches(q[0], q[1]))
+		fmt.Printf("reach(%d, %d) = %v\n", q[0], q[1], dag.Reaches(labelOf[q[0]], labelOf[q[1]]))
+	}
+
+	// Step 4: the same queries through the 2-hop index — O(label) sorted
+	// intersections instead of a BFS per query, which is how a server
+	// sustains point-query volume.
+	cfg, err := iomodel.DefaultConfig().Validate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.TempDir, err = cfg.Backend().MkdirTemp("", "reach-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cfg.Backend().RemoveAll(cfg.TempDir)
+	ix, err := condense.BuildIndex(context.Background(), dag, cfg.TempDir, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("2-hop index: %d entries over %d DAG nodes (max label %d)\n", st.Entries, st.Nodes, st.MaxLabel)
+	for _, q := range queries {
+		fmt.Printf("index reach(%d, %d) = %v\n", q[0], q[1], ix.Reaches(labelOf[q[0]], labelOf[q[1]]))
 	}
 }

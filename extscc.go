@@ -16,9 +16,9 @@
 //     disk, the default) or MemStorage (fully in RAM), chosen with
 //     WithStorage.  The backend never changes the labelling or the
 //     accounted I/O — only where the bytes live.
-//   - Codecs select how records are laid out on disk: CodecFixed (the
-//     historical fixed-size layout, the default) or CodecVarint
-//     (delta+varint compressed frames), chosen with WithCodec.  The codec
+//   - Codecs select how records are laid out on disk: CodecVarint
+//     (delta+varint compressed frames, the default) or CodecFixed (the
+//     frameless record-indexed layout), chosen with WithCodec.  The codec
 //     never changes the labelling — only how many bytes, and therefore
 //     blocks, every file costs; readers auto-detect each file's layout.
 //   - Results stream: Result.Stream iterates (node, label) pairs directly

@@ -1,0 +1,339 @@
+// Package condense builds the condensation DAG of a labelled graph: every
+// strongly connected component is contracted to a single node (identified by
+// its SCC label) and the surviving inter-component edges are deduplicated.
+// Reachability indexes over general directed graphs are built on this DAG —
+// the paper's motivating downstream application — and the serving subsystem
+// (internal/serve) materialises it once per ingested graph.
+//
+// Two construction paths are provided.  Build streams the engine's on-disk
+// edge and label files against each other with the external-sort substrate,
+// so the construction is memory-bounded and fully I/O-accounted; FromMemory
+// condenses an in-memory edge list for examples and oracles.  Both produce
+// the identical DAG.
+package condense
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"extscc/internal/blockio"
+	"extscc/internal/extsort"
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+)
+
+// DAG is an in-memory condensation DAG: adjacency over SCC labels.  The
+// condensation of a graph whose nodes fit the semi-external threshold is far
+// smaller than the graph itself, so holding it in memory is the common case;
+// the on-disk edge file written by Build remains the source of truth for
+// anything larger.
+type DAG struct {
+	// Succ maps an SCC label to its sorted, deduplicated successor labels.
+	// Components without outgoing inter-component edges have no entry.
+	Succ map[record.SCCID][]record.SCCID
+	// Pred is the reverse adjacency, same representation.
+	Pred map[record.SCCID][]record.SCCID
+	// NumEdges is the number of distinct inter-component edges.
+	NumEdges int64
+}
+
+// Reaches reports whether src reaches dst in the DAG by breadth-first
+// search.  It answers the SCC-level reachability question exactly and is the
+// oracle the 2-hop index (Index) is verified against; point queries at
+// serving volume go through the index instead.
+func (d *DAG) Reaches(src, dst record.SCCID) bool {
+	if src == dst {
+		return true
+	}
+	seen := map[record.SCCID]struct{}{src: {}}
+	stack := []record.SCCID{src}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range d.Succ[c] {
+			if n == dst {
+				return true
+			}
+			if _, ok := seen[n]; !ok {
+				seen[n] = struct{}{}
+				stack = append(stack, n)
+			}
+		}
+	}
+	return false
+}
+
+// Nodes returns the sorted set of SCC labels with at least one incident
+// inter-component edge.  Components absent from the DAG reach exactly
+// themselves.
+func (d *DAG) Nodes() []record.SCCID {
+	set := map[record.SCCID]struct{}{}
+	for u := range d.Succ {
+		set[u] = struct{}{}
+	}
+	for v := range d.Pred {
+		set[v] = struct{}{}
+	}
+	out := make([]record.SCCID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// insertEdge adds u -> v to the adjacency maps, deferring sort/dedup.
+func (d *DAG) insertEdge(u, v record.SCCID) {
+	d.Succ[u] = append(d.Succ[u], v)
+	d.Pred[v] = append(d.Pred[v], u)
+}
+
+// normalise sorts and deduplicates every adjacency list and recounts the
+// edges.
+func (d *DAG) normalise() {
+	d.NumEdges = 0
+	for u, ns := range d.Succ {
+		d.Succ[u] = dedupSorted(ns)
+		d.NumEdges += int64(len(d.Succ[u]))
+	}
+	for v, ns := range d.Pred {
+		d.Pred[v] = dedupSorted(ns)
+	}
+}
+
+func dedupSorted(ns []record.SCCID) []record.SCCID {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	out := ns[:0]
+	for i, n := range ns {
+		if i == 0 || n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// FromMemory condenses an in-memory edge list under the given labelling:
+// every edge whose endpoints carry different labels becomes an edge between
+// the two components.  Every endpoint must be labelled.
+func FromMemory(labelOf map[record.NodeID]record.SCCID, edges []record.Edge) *DAG {
+	d := &DAG{Succ: map[record.SCCID][]record.SCCID{}, Pred: map[record.SCCID][]record.SCCID{}}
+	for _, e := range edges {
+		cu, cv := labelOf[e.U], labelOf[e.V]
+		if cu == cv {
+			continue
+		}
+		d.insertEdge(cu, cv)
+	}
+	d.normalise()
+	return d
+}
+
+// Build streams the graph's edge file against its label file and writes the
+// condensation DAG's edge file at outPath: one Edge record per distinct
+// inter-component edge (scc(u) -> scc(v), scc(u) != scc(v)), sorted by
+// (U, V).  The label file must be sorted by node id (the layout the engine's
+// Result.LabelPath guarantees) and must cover every edge endpoint.
+//
+// The construction is the classic pair of sort-merge joins: sort the edges
+// by source and merge against the labels to map u -> scc(u), re-sort by
+// target and merge again to map v -> scc(v), then sort the component pairs
+// and deduplicate on the final scan.  Everything runs through the
+// external-sort substrate under cfg's memory budget, storage backend and
+// codec, so the DAG build carries the same I/O accounting as the SCC
+// computation itself.  Intermediate files live in cfg.TempDir and are
+// removed as the build progresses.  The returned count is the number of DAG
+// edges written.
+func Build(ctx context.Context, edgePath, labelPath, outPath string, cfg iomodel.Config) (int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Pass 1: sort edges by source and replace U with its SCC label.
+	byU := blockio.TempFile(cfg.TempDir, "condense-byu", cfg.Stats)
+	if err := extsort.NewContext(ctx, record.EdgeCodec{}, record.EdgeBySource, cfg).SortFile(edgePath, byU); err != nil {
+		return 0, fmt.Errorf("condense: sort edges by source: %w", err)
+	}
+	mappedU := blockio.TempFile(cfg.TempDir, "condense-mapu", cfg.Stats)
+	err := mapEndpoint(ctx, byU, labelPath, mappedU, cfg,
+		func(e record.Edge) record.NodeID { return e.U },
+		func(e record.Edge, scc record.SCCID) (record.Edge, bool) {
+			return record.Edge{U: scc, V: e.V}, true
+		})
+	blockio.Remove(byU, cfg)
+	if err != nil {
+		blockio.Remove(mappedU, cfg)
+		return 0, err
+	}
+
+	// Pass 2: sort by target and replace V with its SCC label, dropping
+	// intra-component edges as soon as both labels are known.
+	byV := blockio.TempFile(cfg.TempDir, "condense-byv", cfg.Stats)
+	err = extsort.NewContext(ctx, record.EdgeCodec{}, record.EdgeByTarget, cfg).SortFile(mappedU, byV)
+	blockio.Remove(mappedU, cfg)
+	if err != nil {
+		blockio.Remove(byV, cfg)
+		return 0, fmt.Errorf("condense: sort edges by target: %w", err)
+	}
+	mappedV := blockio.TempFile(cfg.TempDir, "condense-mapv", cfg.Stats)
+	err = mapEndpoint(ctx, byV, labelPath, mappedV, cfg,
+		func(e record.Edge) record.NodeID { return e.V },
+		func(e record.Edge, scc record.SCCID) (record.Edge, bool) {
+			if e.U == scc {
+				return record.Edge{}, false // intra-component edge
+			}
+			return record.Edge{U: e.U, V: scc}, true
+		})
+	blockio.Remove(byV, cfg)
+	if err != nil {
+		blockio.Remove(mappedV, cfg)
+		return 0, err
+	}
+
+	// Pass 3: sort the component pairs and deduplicate into the output.
+	sorted := blockio.TempFile(cfg.TempDir, "condense-pairs", cfg.Stats)
+	err = extsort.NewContext(ctx, record.EdgeCodec{}, record.EdgeBySource, cfg).SortFile(mappedV, sorted)
+	blockio.Remove(mappedV, cfg)
+	if err != nil {
+		blockio.Remove(sorted, cfg)
+		return 0, fmt.Errorf("condense: sort component pairs: %w", err)
+	}
+	n, err := dedupFile(ctx, sorted, outPath, cfg)
+	blockio.Remove(sorted, cfg)
+	if err != nil {
+		blockio.Remove(outPath, cfg)
+		return 0, err
+	}
+	return n, nil
+}
+
+// mapEndpoint merge-joins an edge file sorted by the chosen endpoint with
+// the node-sorted label file, rewriting each edge through rewrite (which may
+// drop it) into outPath.
+func mapEndpoint(ctx context.Context, edgePath, labelPath, outPath string, cfg iomodel.Config,
+	key func(record.Edge) record.NodeID,
+	rewrite func(record.Edge, record.SCCID) (record.Edge, bool)) error {
+	er, err := recio.NewReader(edgePath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return err
+	}
+	defer er.Close()
+	lr, err := recio.NewReader(labelPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		return err
+	}
+	defer lr.Close()
+	w, err := recio.NewWriter(outPath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return err
+	}
+
+	labels := recio.NewPeekable(lr.Iter())
+	n := 0
+	for {
+		e, err := er.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			return err
+		}
+		if n++; n%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				w.Close()
+				return err
+			}
+		}
+		k := key(e)
+		for labels.Valid() && labels.Peek().Node < k {
+			labels.Pop()
+		}
+		if err := labels.Err(); err != nil {
+			w.Close()
+			return err
+		}
+		if !labels.Valid() || labels.Peek().Node != k {
+			w.Close()
+			return fmt.Errorf("condense: node %d of %s has no label in %s", k, edgePath, labelPath)
+		}
+		out, keep := rewrite(e, labels.Peek().SCC)
+		if !keep {
+			continue
+		}
+		if err := w.Write(out); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// dedupFile copies the (U, V)-sorted edge file at inPath to outPath dropping
+// consecutive duplicates, returning the number of records written.
+func dedupFile(ctx context.Context, inPath, outPath string, cfg iomodel.Config) (int64, error) {
+	r, err := recio.NewReader(inPath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	w, err := recio.NewWriter(outPath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	var prev record.Edge
+	first := true
+	n := 0
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			return 0, err
+		}
+		if n++; n%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				w.Close()
+				return 0, err
+			}
+		}
+		if !first && e == prev {
+			continue
+		}
+		first = false
+		prev = e
+		if err := w.Write(e); err != nil {
+			w.Close()
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
+// Load reads a DAG edge file written by Build into memory.
+func Load(path string, cfg iomodel.Config) (*DAG, error) {
+	d := &DAG{Succ: map[record.SCCID][]record.SCCID{}, Pred: map[record.SCCID][]record.SCCID{}}
+	r, err := recio.NewReader(path, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		d.insertEdge(e.U, e.V)
+	}
+	d.normalise()
+	return d, nil
+}

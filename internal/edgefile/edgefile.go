@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"slices"
 
 	"extscc/internal/blockio"
 	"extscc/internal/extsort"
@@ -73,6 +74,10 @@ func WriteGraph(dir string, edges []record.Edge, nodes []record.NodeID, cfg iomo
 		for n := range seen {
 			nodes = append(nodes, n)
 		}
+		// Map iteration order is random per process; sort so the staged file
+		// is deterministic (the varint codec's delta encoding makes byte
+		// counts order-sensitive, and cross-backend tests compare them).
+		slices.Sort(nodes)
 	}
 	tmp := blockio.TempFile(dir, "graph-nodes-unsorted", cfg.Stats)
 	if err := recio.WriteSlice(tmp, record.NodeCodec{}, cfg, nodes); err != nil {

@@ -153,11 +153,15 @@ func (c Config) Backend() storage.Backend {
 	return storage.Default()
 }
 
-// CodecFamily returns the effective record-codec family of the configuration
-// (record.FamilyFixed when the Codec field was left empty).
+// CodecFamily returns the effective record-codec family of the configuration.
+// An empty Codec field selects record.FamilyVarint: compressed intermediates
+// cut bytes and block I/Os on every workload measured, so the compressing
+// codec is the default and the fixed layout is opt-in (WithCodec("fixed"))
+// for consumers that need record-indexed seeks, e.g. the serving subsystem's
+// batched point lookups over larger-than-RAM labellings.
 func (c Config) CodecFamily() string {
 	if c.Codec == "" {
-		return record.FamilyFixed
+		return record.FamilyVarint
 	}
 	return c.Codec
 }

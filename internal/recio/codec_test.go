@@ -17,6 +17,16 @@ func varintConfig(t *testing.T) iomodel.Config {
 	return cfg
 }
 
+// fixedConfig is testConfig with the fixed codec family selected explicitly
+// (the process default is varint, so fixed-layout behaviour must be opted
+// into).
+func fixedConfig(t *testing.T) iomodel.Config {
+	t.Helper()
+	cfg := testConfig(t)
+	cfg.Codec = record.FamilyFixed
+	return cfg
+}
+
 // makeEdges builds n edges sorted by source with small gaps — the shape of a
 // sorted run, where delta encoding shines.
 func makeEdges(n int) []record.Edge {
@@ -132,7 +142,7 @@ func TestVarintShrinksFileAndIOs(t *testing.T) {
 
 	// A realistic block size: with the 64-byte test block a frame holds only
 	// a handful of records and the 14-byte headers dominate.
-	fixedCfg := testConfig(t)
+	fixedCfg := fixedConfig(t)
 	fixedCfg.BlockSize, fixedCfg.Memory = 4096, 64*1024
 	fixedSize, fixedWrites := write(fixedCfg, filepath.Join(t.TempDir(), "fixed.bin"))
 	varCfg := varintConfig(t)
@@ -160,10 +170,10 @@ func TestVarintShrinksFileAndIOs(t *testing.T) {
 }
 
 // TestFixedLayoutIsByteIdentical pins backward compatibility: under the
-// fixed family (and under the default config) the produced file is exactly
-// the concatenation of the per-record encodings — the pre-codec format.
+// fixed family the produced file is exactly the concatenation of the
+// per-record encodings — the pre-codec format.
 func TestFixedLayoutIsByteIdentical(t *testing.T) {
-	cfg := testConfig(t)
+	cfg := fixedConfig(t)
 	path := filepath.Join(t.TempDir(), "fixed.bin")
 	labels := []record.Label{{Node: 7, SCC: 3}, {Node: 9, SCC: 3}, {Node: 11, SCC: 11}}
 	if err := WriteSlice(path, record.LabelCodec{}, cfg, labels); err != nil {
@@ -360,7 +370,7 @@ func TestTinyFixedFileSniff(t *testing.T) {
 // TestFixedSeekAfterSniff: the sniffed head bytes must not break record
 // seeks on fixed files (SeekTo discards the head buffer).
 func TestFixedSeekAfterSniff(t *testing.T) {
-	cfg := testConfig(t)
+	cfg := fixedConfig(t)
 	path := filepath.Join(t.TempDir(), "seek.bin")
 	nodes := make([]record.NodeID, 64)
 	for i := range nodes {
@@ -401,7 +411,7 @@ func TestFixedSeekAfterSniff(t *testing.T) {
 // the header fails validation (wrong version byte) and the reader falls back
 // to the fixed layout.
 func TestFixedFileWithMagicCollision(t *testing.T) {
-	cfg := testConfig(t)
+	cfg := fixedConfig(t)
 	path := filepath.Join(t.TempDir(), "collide.bin")
 	nodes := []record.NodeID{0xDEC05CEC, 5, 6, 7}
 	if err := WriteSlice(path, record.NodeCodec{}, cfg, nodes); err != nil {

@@ -23,6 +23,7 @@ func testConfig(t *testing.T) iomodel.Config {
 
 func TestWriteReadEdges(t *testing.T) {
 	cfg := testConfig(t)
+	cfg.Codec = record.FamilyFixed // pins the frameless layout: exact Count from the file size
 	path := filepath.Join(t.TempDir(), "edges.bin")
 	edges := []record.Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 1}}
 
@@ -87,6 +88,7 @@ func TestReaderRejectsTruncatedFile(t *testing.T) {
 
 func TestSeekToRecord(t *testing.T) {
 	cfg := testConfig(t)
+	cfg.Codec = record.FamilyFixed // SeekTo needs the record-indexed fixed layout
 	path := filepath.Join(t.TempDir(), "seek.bin")
 	var edges []record.Edge
 	for i := uint32(0); i < 100; i++ {

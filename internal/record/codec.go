@@ -9,10 +9,12 @@ import (
 // the pipeline; iomodel.Config.Codec carries the chosen family through every
 // operator.
 const (
-	// FamilyFixed is the historical fixed-size layout (the default).  Files
-	// are frameless and byte-identical to the pre-codec era.
+	// FamilyFixed is the historical fixed-size layout.  Files are frameless
+	// and byte-identical to the pre-codec era, and support record-indexed
+	// seeks.
 	FamilyFixed = "fixed"
-	// FamilyVarint is the delta+varint block layout (see doc.go).
+	// FamilyVarint is the delta+varint block layout (see doc.go), the
+	// process-wide default (iomodel.Config.CodecFamily).
 	FamilyVarint = "varint"
 )
 

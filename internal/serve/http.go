@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"extscc"
+	"extscc/internal/condense"
+	"extscc/internal/record"
+)
+
+// routes builds the endpoint mux.  All endpoints are GET and return JSON.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /scc/{node}", s.handleSCC)
+	mux.HandleFunc("GET /same/{u}/{v}", s.handleSame)
+	mux.HandleFunc("GET /reach/{u}/{v}", s.handleReach)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseNode parses one path value as a node id; on failure it writes a 400
+// and returns ok=false.
+func parseNode(w http.ResponseWriter, r *http.Request, name string) (extscc.NodeID, bool) {
+	raw := r.PathValue(name)
+	n, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid node id " + strconv.Quote(raw)})
+		return 0, false
+	}
+	return extscc.NodeID(n), true
+}
+
+type sccResponse struct {
+	Node extscc.NodeID `json:"node"`
+	SCC  uint32        `json:"scc"`
+}
+
+// handleSCC answers /scc/{node}: the SCC label of one node, 404 for a node
+// the ingested graph does not contain.
+func (s *Server) handleSCC(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	node, ok := parseNode(w, r, "node")
+	if !ok {
+		return
+	}
+	labels, err := s.labelsOf([]extscc.NodeID{node})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	scc, ok := labels[node]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "node " + strconv.FormatUint(uint64(node), 10) + " not found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, sccResponse{Node: node, SCC: scc})
+}
+
+type pairResponse struct {
+	U      extscc.NodeID `json:"u"`
+	V      extscc.NodeID `json:"v"`
+	SCCU   uint32        `json:"scc_u"`
+	SCCV   uint32        `json:"scc_v"`
+	Same   bool          `json:"same,omitempty"`
+	Reach  bool          `json:"reach,omitempty"`
+	Answer bool          `json:"answer"`
+}
+
+// resolvePair answers the shared front half of /same and /reach: parse both
+// nodes, resolve both labels in one batched lookup, 404 if either is absent.
+func (s *Server) resolvePair(w http.ResponseWriter, r *http.Request) (u, v extscc.NodeID, su, sv uint32, ok bool) {
+	u, ok = parseNode(w, r, "u")
+	if !ok {
+		return
+	}
+	v, ok = parseNode(w, r, "v")
+	if !ok {
+		return
+	}
+	labels, err := s.labelsOf([]extscc.NodeID{u, v})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return 0, 0, 0, 0, false
+	}
+	su, okU := labels[u]
+	sv, okV := labels[v]
+	if !okU || !okV {
+		missing := u
+		if okU {
+			missing = v
+		}
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "node " + strconv.FormatUint(uint64(missing), 10) + " not found"})
+		return 0, 0, 0, 0, false
+	}
+	return u, v, su, sv, true
+}
+
+// handleSame answers /same/{u}/{v}: whether two nodes share a strongly
+// connected component.
+func (s *Server) handleSame(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	u, v, su, sv, ok := s.resolvePair(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, pairResponse{U: u, V: v, SCCU: su, SCCV: sv, Same: su == sv, Answer: su == sv})
+}
+
+// handleReach answers /reach/{u}/{v}: whether u reaches v in the ingested
+// graph — true when both nodes share an SCC, otherwise decided by the 2-hop
+// index over the condensation DAG.
+func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	u, v, su, sv, ok := s.resolvePair(w, r)
+	if !ok {
+		return
+	}
+	reach := su == sv || s.index.Reaches(record.SCCID(su), record.SCCID(sv))
+	writeJSON(w, http.StatusOK, pairResponse{U: u, V: v, SCCU: su, SCCV: sv, Reach: reach, Answer: reach})
+}
+
+// handleHealthz answers /healthz with a plain 200 once the server is built
+// (New only returns servers whose index is ready).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// statsResponse is the /stats payload: the graph's shape, the engine's full
+// Stats (including Retries and CorruptFrames), the I/O cost of building the
+// DAG and index, the index's size, and the serving counters.
+type statsResponse struct {
+	Graph struct {
+		Nodes    int64 `json:"nodes"`
+		Edges    int64 `json:"edges"`
+		SCCs     int64 `json:"sccs"`
+		DAGNodes int   `json:"dag_nodes"`
+		DAGEdges int64 `json:"dag_edges"`
+	} `json:"graph"`
+	Algorithm string       `json:"algorithm"`
+	Engine    extscc.Stats `json:"engine"`
+	Build     struct {
+		ReadIOs      int64 `json:"read_ios"`
+		WriteIOs     int64 `json:"write_ios"`
+		BytesRead    int64 `json:"bytes_read"`
+		BytesWritten int64 `json:"bytes_written"`
+		FilesCreated int64 `json:"files_created"`
+	} `json:"index_build"`
+	Index   condense.IndexStats `json:"index"`
+	Serving struct {
+		Queries        int64   `json:"queries"`
+		Batches        int64   `json:"batches"`
+		BatchedLookups int64   `json:"batched_lookups"`
+		CacheHits      int64   `json:"cache_hits"`
+		CacheMisses    int64   `json:"cache_misses"`
+		UptimeSeconds  float64 `json:"uptime_seconds"`
+	} `json:"serving"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	resp.Graph.Nodes = s.res.NumNodes
+	resp.Graph.Edges = s.res.NumEdges
+	resp.Graph.SCCs = s.res.NumSCCs
+	resp.Graph.DAGNodes = s.dagNodes
+	resp.Graph.DAGEdges = s.dagEdges
+	resp.Algorithm = s.res.Algorithm
+	resp.Engine = s.res.Stats
+	resp.Build.ReadIOs = s.buildIO.ReadBlocks
+	resp.Build.WriteIOs = s.buildIO.WriteBlocks
+	resp.Build.BytesRead = s.buildIO.BytesRead
+	resp.Build.BytesWritten = s.buildIO.BytesWritten
+	resp.Build.FilesCreated = s.buildIO.FilesCreated
+	resp.Index = s.index.Stats()
+	resp.Serving.Queries = s.queries.Load()
+	resp.Serving.Batches, resp.Serving.BatchedLookups = s.store.stats()
+	resp.Serving.CacheHits, resp.Serving.CacheMisses = s.cache.stats()
+	resp.Serving.UptimeSeconds = time.Since(s.started).Seconds()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"sort"
+	"sync"
 
 	"time"
 
@@ -83,12 +85,27 @@ type Result struct {
 	// node, sorted by node id).  It lives inside a run directory that is
 	// removed by Close, unless ExportLabels moved it out first.
 	LabelPath string
+	// EdgePath is the staged edge file the run computed over, on the run's
+	// storage backend.  Downstream consumers (condensation-DAG construction,
+	// the serving subsystem) re-read it; like LabelPath it lives inside the
+	// run directory and is removed by Close.
+	EdgePath string
+	// NodePath is the staged node file derived alongside EdgePath, same
+	// lifetime.
+	NodePath string
 	// Stats summarises the run.
 	Stats Stats
 
 	runDir    string
 	cfg       iomodel.Config
 	streamErr error
+
+	// Random-access lookup state, built lazily by LabelOf/LookupLabels.
+	lookupOnce  sync.Once
+	lookupErr   error
+	labelFramed bool
+	labelCount  int64
+	labelTable  map[NodeID]uint32
 }
 
 // Stream iterates the label assignment as (node, SCC label) pairs in node-id
@@ -123,6 +140,149 @@ func (r *Result) Stream() iter.Seq2[NodeID, uint32] {
 // Err reports the error, if any, that terminated the most recent Stream
 // iteration early.
 func (r *Result) Err() error { return r.streamErr }
+
+// initLookup inspects the label file once: fixed-layout files expose their
+// record count for binary search; framed files (varint codec) have no
+// record-index-to-byte-offset mapping, so the whole labelling is scanned into
+// an in-memory table instead.  The table costs 12-16 bytes per node, which is
+// exactly the regime the fixed codec exists to avoid — callers who need
+// random access over larger-than-RAM labellings should write the label file
+// with WithCodec("fixed").
+func (r *Result) initLookup() error {
+	r.lookupOnce.Do(func() {
+		rd, err := recio.NewReader(r.LabelPath, record.LabelCodec{}, r.cfg)
+		if err != nil {
+			r.lookupErr = err
+			return
+		}
+		defer rd.Close()
+		if !rd.Framed() {
+			r.labelCount = rd.Count()
+			return
+		}
+		r.labelFramed = true
+		table := make(map[NodeID]uint32)
+		for {
+			l, err := rd.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.lookupErr = err
+				return
+			}
+			table[l.Node] = l.SCC
+		}
+		r.labelTable = table
+	})
+	return r.lookupErr
+}
+
+// LabelOf returns the SCC label of a single node, or ok=false for a node the
+// run never saw.  On a fixed-codec label file the lookup binary-searches the
+// node-sorted file directly — O(log n) random block reads, no memory — which
+// is what makes point queries over larger-than-RAM labellings possible.  On a
+// framed (varint) file the first call scans the labelling into an in-memory
+// table and later calls answer from it.  LabelOf is safe for concurrent use.
+func (r *Result) LabelOf(node NodeID) (scc uint32, ok bool, err error) {
+	if err := r.initLookup(); err != nil {
+		return 0, false, err
+	}
+	if r.labelFramed {
+		scc, ok = r.labelTable[node]
+		return scc, ok, nil
+	}
+	rd, err := recio.NewReader(r.LabelPath, record.LabelCodec{}, r.cfg)
+	if err != nil {
+		return 0, false, err
+	}
+	defer rd.Close()
+	scc, ok, _, err = searchLabel(rd, 0, r.labelCount, node)
+	return scc, ok, err
+}
+
+// LookupLabels resolves a batch of nodes in one pass, returning a map holding
+// an entry for every node that has a label.  On a fixed-codec file the batch
+// is sorted and answered by a single forward sweep of monotone binary
+// searches — each search starts where the previous one ended — so a wave of
+// point lookups costs one traversal of the touched blocks instead of an
+// independent log-n probe per node.  This is the primitive the serving
+// subsystem's request coalescing is built on.  Framed files answer from the
+// same in-memory table as LabelOf.
+func (r *Result) LookupLabels(nodes []NodeID) (map[NodeID]uint32, error) {
+	if err := r.initLookup(); err != nil {
+		return nil, err
+	}
+	out := make(map[NodeID]uint32, len(nodes))
+	if r.labelFramed {
+		for _, n := range nodes {
+			if scc, ok := r.labelTable[n]; ok {
+				out[n] = scc
+			}
+		}
+		return out, nil
+	}
+	sorted := make([]NodeID, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rd, err := recio.NewReader(r.LabelPath, record.LabelCodec{}, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	lo := int64(0)
+	for i, n := range sorted {
+		if i > 0 && n == sorted[i-1] {
+			continue
+		}
+		scc, ok, pos, err := searchLabel(rd, lo, r.labelCount, n)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[n] = scc
+			lo = pos + 1
+		} else {
+			lo = pos
+		}
+	}
+	return out, nil
+}
+
+// searchLabel binary-searches the node-sorted window [lo, hi) of a
+// fixed-layout label file for node, returning its label and the position of
+// the first record with Node >= node.
+func searchLabel(rd *recio.Reader[record.Label], lo, hi int64, node NodeID) (uint32, bool, int64, error) {
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if err := rd.SeekTo(mid); err != nil {
+			return 0, false, 0, err
+		}
+		l, err := rd.Read()
+		if err != nil {
+			return 0, false, 0, err
+		}
+		if l.Node < node {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= rd.Count() {
+		return 0, false, lo, nil
+	}
+	if err := rd.SeekTo(lo); err != nil {
+		return 0, false, 0, err
+	}
+	l, err := rd.Read()
+	if err != nil {
+		return 0, false, 0, err
+	}
+	if l.Node != node {
+		return 0, false, lo, nil
+	}
+	return l.SCC, true, lo, nil
+}
 
 // Labels loads the full label assignment into memory.  Use it only when the
 // node set fits in memory; otherwise Stream.

@@ -1,0 +1,393 @@
+// Command servesmoke is the end-to-end gate for the serving subsystem, run
+// by `make serve-smoke` and the serve-smoke CI job.  It builds the sccserve
+// binary, computes a ground-truth oracle for the quick-fig7 web graph with
+// the in-process engine, then for each storage backend (os, mem) boots the
+// binary on that graph, asserts scripted HTTP queries against the oracle,
+// checks /healthz and /stats, terminates the server with SIGTERM, and
+// verifies a clean exit with zero leftover temp files.  A final boot on a
+// path graph pins hand-computable answers independent of any oracle code.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"extscc"
+	"extscc/internal/condense"
+	"extscc/internal/iomodel"
+	"extscc/internal/recio"
+	"extscc/internal/record"
+	"extscc/internal/storage"
+)
+
+// The smoke graph mirrors the quick-mode fig7 workload (see
+// internal/bench): a web-like graph with a giant core plus host-local
+// structure.
+const (
+	smokeNodes  = 6000
+	smokeDegree = 8
+	smokeSeed   = 1
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("servesmoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("serve smoke: PASS")
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "servesmoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	bin := filepath.Join(work, "sccserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sccserve")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build sccserve: %w", err)
+	}
+
+	edgePath := filepath.Join(work, "web.edges")
+	spec := extscc.GeneratorSpec{Kind: "web", Nodes: smokeNodes, Degree: smokeDegree, Seed: smokeSeed}
+	if _, _, err := spec.WriteEdgeFileOn(storage.OS(), edgePath); err != nil {
+		return fmt.Errorf("generate quick-fig7 graph: %w", err)
+	}
+
+	orc, err := buildOracle(edgePath)
+	if err != nil {
+		return fmt.Errorf("build oracle: %w", err)
+	}
+	fmt.Printf("oracle: %d nodes, %d SCCs\n", len(orc.labels), orc.sccs)
+
+	for _, backend := range []string{"os", "mem"} {
+		if err := smokeWebGraph(bin, edgePath, backend, work, orc); err != nil {
+			return fmt.Errorf("storage=%s: %w", backend, err)
+		}
+		fmt.Printf("storage=%s: web-graph leg PASS\n", backend)
+	}
+	if err := smokePathGraph(bin, work); err != nil {
+		return fmt.Errorf("path graph: %w", err)
+	}
+	fmt.Println("path-graph leg PASS")
+	return nil
+}
+
+// oracle holds the single-threaded ground truth computed in-process.
+type oracle struct {
+	labels map[extscc.NodeID]uint32
+	dag    *condense.DAG
+	sccs   int64
+}
+
+func buildOracle(edgePath string) (*oracle, error) {
+	eng, err := extscc.New()
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run(context.Background(), extscc.FileSource(edgePath))
+	if err != nil {
+		return nil, err
+	}
+	defer res.Close()
+	labels := make(map[extscc.NodeID]uint32, res.NumNodes)
+	for node, scc := range res.Stream() {
+		labels[node] = scc
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	cfg, err := iomodel.DefaultConfig().Validate()
+	if err != nil {
+		return nil, err
+	}
+	edges, err := recio.ReadAll(edgePath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &oracle{labels: labels, dag: condense.FromMemory(labels, edges), sccs: res.NumSCCs}, nil
+}
+
+// server wraps a booted sccserve process.
+type server struct {
+	cmd   *exec.Cmd
+	base  string
+	out   *collector
+	waitc chan error
+}
+
+// collector is the child's stdout sink: it records everything and feeds
+// complete lines to a channel for the boot handshake.  Using an io.Writer
+// (rather than StdoutPipe) lets exec.Cmd.Wait synchronise with the final
+// writes, so shutdown never races the last output line.
+type collector struct {
+	mu      sync.Mutex
+	all     strings.Builder
+	partial string
+	lines   chan string
+}
+
+func (c *collector) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.all.Write(p)
+	c.partial += string(p)
+	for {
+		i := strings.IndexByte(c.partial, '\n')
+		if i < 0 {
+			break
+		}
+		line := c.partial[:i]
+		c.partial = c.partial[i+1:]
+		select {
+		case c.lines <- line:
+		default:
+		}
+	}
+	return len(p), nil
+}
+
+func (c *collector) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.all.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on http://(\S+)`)
+
+// boot starts the binary with the given arguments and waits for its
+// "listening on" line to learn the port.
+func boot(bin string, args ...string) (*server, error) {
+	cmd := exec.Command(bin, args...)
+	out := &collector{lines: make(chan string, 64)}
+	cmd.Stdout = out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	s := &server{cmd: cmd, out: out, waitc: make(chan error, 1)}
+	go func() { s.waitc <- cmd.Wait() }()
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case line := <-out.lines:
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				s.base = "http://" + m[1]
+				return s, nil
+			}
+		case err := <-s.waitc:
+			return nil, fmt.Errorf("sccserve exited before listening (%v); stdout:\n%s", err, out.String())
+		case <-deadline:
+			cmd.Process.Kill()
+			<-s.waitc
+			return nil, fmt.Errorf("sccserve did not start listening within 60s")
+		}
+	}
+}
+
+// shutdown sends SIGTERM and requires a clean exit.
+func (s *server) shutdown() error {
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-s.waitc:
+		if err != nil {
+			return fmt.Errorf("sccserve exited uncleanly: %w; stdout:\n%s", err, s.out.String())
+		}
+	case <-time.After(30 * time.Second):
+		s.cmd.Process.Kill()
+		return fmt.Errorf("sccserve did not exit within 30s of SIGTERM")
+	}
+	if !strings.Contains(s.out.String(), "shut down cleanly") {
+		return fmt.Errorf("missing clean-shutdown message; stdout:\n%s", s.out.String())
+	}
+	return nil
+}
+
+func (s *server) get(path string, out any) (int, error) {
+	resp, err := http.Get(s.base + path)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func (s *server) waitHealthy() error {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if code, err := s.get("/healthz", nil); err == nil && code == http.StatusOK {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("/healthz never returned 200")
+}
+
+type nodeResp struct {
+	Node extscc.NodeID `json:"node"`
+	SCC  uint32        `json:"scc"`
+}
+
+type pairResp struct {
+	Answer bool `json:"answer"`
+}
+
+type statsResp struct {
+	Graph struct {
+		SCCs int64 `json:"sccs"`
+	} `json:"graph"`
+	Engine struct {
+		Retries       int64
+		CorruptFrames int64
+	} `json:"engine"`
+	Serving struct {
+		Queries int64 `json:"queries"`
+	} `json:"serving"`
+}
+
+// smokeWebGraph boots the binary on the quick-fig7 graph and checks scripted
+// queries against the oracle.
+func smokeWebGraph(bin, edgePath, backend, work string, orc *oracle) error {
+	tmp, err := os.MkdirTemp(work, "serve-tmp-"+backend+"-")
+	if err != nil {
+		return err
+	}
+	s, err := boot(bin, "-in", edgePath, "-storage", backend, "-tmp", tmp, "-addr", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer s.cmd.Process.Kill()
+	if err := s.waitHealthy(); err != nil {
+		return err
+	}
+
+	// Scripted point queries across the node range, answers pinned to the
+	// oracle.  The pair list mixes same-SCC, cross-SCC, and unreachable
+	// combinations deterministically.
+	queries := 0
+	for i := 0; i < 60; i++ {
+		u := extscc.NodeID(i * 97 % smokeNodes)
+		v := extscc.NodeID((i*131 + 7) % smokeNodes)
+		var nr nodeResp
+		code, err := s.get(fmt.Sprintf("/scc/%d", u), &nr)
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("/scc/%d: code %d err %v", u, code, err)
+		}
+		if want := orc.labels[u]; nr.SCC != want {
+			return fmt.Errorf("/scc/%d = %d, oracle %d", u, nr.SCC, want)
+		}
+		var same, reach pairResp
+		if code, err := s.get(fmt.Sprintf("/same/%d/%d", u, v), &same); err != nil || code != http.StatusOK {
+			return fmt.Errorf("/same/%d/%d: code %d err %v", u, v, code, err)
+		}
+		if want := orc.labels[u] == orc.labels[v]; same.Answer != want {
+			return fmt.Errorf("/same/%d/%d = %v, oracle %v", u, v, same.Answer, want)
+		}
+		if code, err := s.get(fmt.Sprintf("/reach/%d/%d", u, v), &reach); err != nil || code != http.StatusOK {
+			return fmt.Errorf("/reach/%d/%d: code %d err %v", u, v, code, err)
+		}
+		if want := orc.dag.Reaches(orc.labels[u], orc.labels[v]); reach.Answer != want {
+			return fmt.Errorf("/reach/%d/%d = %v, oracle %v", u, v, reach.Answer, want)
+		}
+		queries += 3
+	}
+
+	// Error surface: unknown node 404, malformed id 400.
+	if code, _ := s.get("/scc/999999", nil); code != http.StatusNotFound {
+		return fmt.Errorf("/scc/999999 = %d, want 404", code)
+	}
+	if code, _ := s.get("/scc/abc", nil); code != http.StatusBadRequest {
+		return fmt.Errorf("/scc/abc = %d, want 400", code)
+	}
+
+	var st statsResp
+	if code, err := s.get("/stats", &st); err != nil || code != http.StatusOK {
+		return fmt.Errorf("/stats: code %d err %v", code, err)
+	}
+	if st.Graph.SCCs != orc.sccs {
+		return fmt.Errorf("/stats sccs = %d, oracle %d", st.Graph.SCCs, orc.sccs)
+	}
+	if st.Engine.Retries != 0 || st.Engine.CorruptFrames != 0 {
+		return fmt.Errorf("/stats reports faults on a clean run: %+v", st.Engine)
+	}
+	if st.Serving.Queries < int64(queries) {
+		return fmt.Errorf("/stats queries = %d, served at least %d", st.Serving.Queries, queries)
+	}
+
+	if err := s.shutdown(); err != nil {
+		return err
+	}
+	// The clean-shutdown contract: nothing survives under the temp dir.
+	entries, err := os.ReadDir(tmp)
+	if err != nil {
+		return err
+	}
+	if len(entries) != 0 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		return fmt.Errorf("leaked temp files after shutdown: %v", names)
+	}
+	return nil
+}
+
+// smokePathGraph boots the server on a 50-node path (every node its own
+// SCC) and checks hand-computable answers, independent of the oracle code.
+func smokePathGraph(bin, work string) error {
+	tmp, err := os.MkdirTemp(work, "serve-tmp-path-")
+	if err != nil {
+		return err
+	}
+	s, err := boot(bin, "-gen", "path", "-nodes", "50", "-tmp", tmp, "-addr", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer s.cmd.Process.Kill()
+	if err := s.waitHealthy(); err != nil {
+		return err
+	}
+	for _, q := range []struct {
+		path string
+		want bool
+	}{
+		{"/same/0/1", false},
+		{"/same/49/49", true},
+		{"/reach/0/49", true},
+		{"/reach/49/0", false},
+		{"/reach/10/11", true},
+		{"/reach/11/10", false},
+	} {
+		var pr pairResp
+		code, err := s.get(q.path, &pr)
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("%s: code %d err %v", q.path, code, err)
+		}
+		if pr.Answer != q.want {
+			return fmt.Errorf("%s = %v, want %v", q.path, pr.Answer, q.want)
+		}
+	}
+	return s.shutdown()
+}
