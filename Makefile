@@ -16,11 +16,13 @@ test:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Mirrors the `race` job: the WithWorkers pools and the in-memory storage
-# backend under the race detector, once per backend.
+# Mirrors the `race` job: the WithWorkers pools, the in-memory storage
+# backend, and the sharded multi-volume backend under the race detector,
+# once per storage spec.
 race:
 	EXTSCC_STORAGE=os $(GO) test -race -short ./...
 	EXTSCC_STORAGE=mem $(GO) test -race -short ./...
+	EXTSCC_STORAGE=shard=mem,mem $(GO) test -race -short ./...
 
 # Mirrors the `lint` job.  staticcheck and govulncheck are skipped when not
 # installed so the target works offline; CI always runs them.
@@ -50,12 +52,17 @@ fuzz:
 	done
 
 # Mirrors the `bench` job: quick fig7, workers=1 vs workers=NumCPU with
-# identical SCCs and I/O counts enforced; the storage-equivalence gate
-# (mem ≡ os); then the codec gate (varint must match the fixed SCC results
-# while cutting bytes written by >= 30% and lowering block I/Os), whose
-# two-codec sweep is also gated against the committed baseline.
+# identical SCCs and I/O counts enforced; the shard gate (1 vs 2 vs 4
+# compute shards on per-shard in-memory volumes, identical SCC counts, the
+# per-shard-count rows and speedup recorded in BENCH_quick.{json,csv}); the
+# storage-equivalence gate (mem ≡ os); then the codec gate (varint must
+# match the fixed SCC results while cutting bytes written by >= 30% and
+# lowering block I/Os), whose two-codec sweep is also gated against the
+# committed baseline.
 bench:
 	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-workers -workers 0 \
+		-json BENCH_workers.json -csv BENCH_workers.csv
+	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-shards -workers 1 \
 		-json BENCH_quick.json -csv BENCH_quick.csv
 	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-storage -workers 1
 	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-codec -workers 1 \

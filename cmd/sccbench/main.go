@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"extscc/internal/bench"
+	"extscc/internal/cliflags"
 	"extscc/internal/storage"
 )
 
@@ -47,12 +48,14 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads further for a fast smoke run")
 	tempDir := flag.String("tmp", os.TempDir(), "directory for graphs and intermediate files")
 	csvPath := flag.String("csv", "", "also write measurements as CSV to this file")
-	workers := flag.Int("workers", 1, "worker count for the parallel sorter and overlapped I/O (0 = all CPUs)")
+	workers := cliflags.Workers(1)
 	compareWorkers := flag.Bool("compare-workers", false, "run sequentially and with -workers workers, verify identical SCCs and I/O counts, report the speedup")
-	storageName := flag.String("storage", "", "storage backend for graphs and intermediates: os (default) or mem (fully in RAM)")
+	storageName := cliflags.Storage()
 	compareStorage := flag.Bool("compare-storage", false, "run on the os and mem backends, verify identical SCCs and I/O counts, report the speedup")
-	codecName := flag.String("codec", "", "record codec for intermediate files: varint (default; delta+varint compressed frames) or fixed (frameless record-indexed layout)")
-	retry := flag.Int("retry", 0, "retry transient storage failures up to this many times per operation (0 = fail fast)")
+	codecName := cliflags.Codec()
+	retry := cliflags.Retry()
+	shards := flag.Int("shards", 0, "compute-shard count for the sharded contraction pre-pass (0 = unsharded)")
+	compareShards := flag.Bool("compare-shards", false, "run at 1, 2 and 4 compute shards, each striped over that many in-memory volumes, verify identical SCC counts, and report the wall-clock speedup")
 	compareCodec := flag.Bool("compare-codec", false, "run with the fixed and varint codecs, verify identical SCCs, and report the byte and block-I/O reduction (fails unless varint cuts bytes written by >= 30% and lowers block I/Os)")
 	jsonPath := flag.String("json", "", "write measurements as a JSON report to this file")
 	baselinePath := flag.String("baseline", "", "gate the workers=1 measurements against this committed JSON report")
@@ -74,6 +77,15 @@ func main() {
 	if *compareCodec && *codecName != "" {
 		log.Fatal("-compare-codec runs both codecs; do not combine it with -codec")
 	}
+	if *compareShards && (*compareWorkers || *compareStorage || *compareCodec) {
+		log.Fatal("-compare-shards is a separate gate; run it as its own invocation")
+	}
+	if *compareShards && (*storageName != "" || *shards != 0) {
+		log.Fatal("-compare-shards picks its own backends and shard counts; do not combine it with -storage or -shards")
+	}
+	if *baselinePath != "" && *compareShards {
+		log.Fatal("-baseline gates unsharded measurements; run -compare-shards without it")
+	}
 	if *baselinePath != "" && !*compareCodec {
 		// The committed baseline is recorded by `make bench-baseline` under
 		// -compare-codec, so it holds the measurement keys of both codec
@@ -81,7 +93,7 @@ func main() {
 		// points as missing.
 		log.Fatal("-baseline requires -compare-codec: the committed baseline holds both codec sweeps, and both halves are gated")
 	}
-	backend, err := storage.ByName(*storageName)
+	backend, err := cliflags.ResolveStorage(*storageName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,8 +110,8 @@ func main() {
 		resolvedWorkers = runtime.GOMAXPROCS(0)
 	}
 
-	runOnce := func(w int, b storage.Backend, codec string) ([]bench.Measurement, error) {
-		cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: w, Storage: b, Codec: codec, Retries: *retry}
+	runOnce := func(w int, b storage.Backend, codec string, shardCount int) ([]bench.Measurement, error) {
+		cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: w, Storage: b, Codec: codec, Retries: *retry, Shards: shardCount}
 		if *experiment == "all" {
 			return bench.RunAll(cfg)
 		}
@@ -112,13 +124,13 @@ func main() {
 	var gateFailures []string
 	var ms []bench.Measurement
 	if *compareWorkers {
-		seq, err := runOnce(1, backend, *codecName)
+		seq, err := runOnce(1, backend, *codecName, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}
 		ms = seq
 		if resolvedWorkers > 1 {
-			par, err := runOnce(resolvedWorkers, backend, *codecName)
+			par, err := runOnce(resolvedWorkers, backend, *codecName, *shards)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -142,11 +154,11 @@ func main() {
 			fmt.Println("worker comparison: only one CPU available, parallel run skipped")
 		}
 	} else if *compareStorage {
-		osMs, err := runOnce(resolvedWorkers, storage.OS(), *codecName)
+		osMs, err := runOnce(resolvedWorkers, storage.OS(), *codecName, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}
-		memMs, err := runOnce(resolvedWorkers, storage.NewMem(), *codecName)
+		memMs, err := runOnce(resolvedWorkers, storage.NewMem(), *codecName, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -167,11 +179,11 @@ func main() {
 				osTotal.Round(time.Millisecond), memTotal.Round(time.Millisecond), speedup)
 		}
 	} else if *compareCodec {
-		fixedMs, err := runOnce(resolvedWorkers, backend, "fixed")
+		fixedMs, err := runOnce(resolvedWorkers, backend, "fixed", *shards)
 		if err != nil {
 			log.Fatal(err)
 		}
-		varintMs, err := runOnce(resolvedWorkers, backend, "varint")
+		varintMs, err := runOnce(resolvedWorkers, backend, "varint", *shards)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -198,9 +210,46 @@ func main() {
 					fmt.Sprintf("varint codec did not lower block I/Os (fixed %d, varint %d)", s.BaseIOs, s.OtherIOs))
 			}
 		}
+	} else if *compareShards {
+		counts := []int{1, 2, 4}
+		perCount := map[int][]bench.Measurement{}
+		for _, n := range counts {
+			b := storage.Backend(storage.NewMem())
+			if n > 1 {
+				children := make([]storage.Backend, n)
+				for i := range children {
+					children[i] = storage.NewMem()
+				}
+				b = storage.NewSharded(children...)
+			}
+			got, err := runOnce(resolvedWorkers, b, *codecName, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			perCount[n] = got
+			ms = append(ms, got...)
+		}
+		if violations := bench.VerifyShardEquivalence(ms); len(violations) > 0 {
+			for _, v := range violations {
+				log.Printf("shard-equivalence violation: %s", v)
+			}
+			gateFailures = append(gateFailures,
+				fmt.Sprintf("shard counts disagree on %d measurement(s)", len(violations)))
+		} else {
+			base := totalDuration(perCount[1])
+			for _, n := range counts[1:] {
+				d := totalDuration(perCount[n])
+				speedup := "n/a"
+				if d > 0 {
+					speedup = fmt.Sprintf("%.2fx", float64(base)/float64(d))
+				}
+				fmt.Printf("shard comparison: shards=1 took %s, shards=%d took %s (speedup %s); SCC counts identical\n",
+					base.Round(time.Millisecond), n, d.Round(time.Millisecond), speedup)
+			}
+		}
 	} else {
 		var err error
-		ms, err = runOnce(resolvedWorkers, backend, *codecName)
+		ms, err = runOnce(resolvedWorkers, backend, *codecName, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -222,7 +271,7 @@ func main() {
 		fmt.Printf("CSV written to %s\n", *csvPath)
 	}
 
-	cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: resolvedWorkers, Storage: backend, Codec: *codecName, Retries: *retry}
+	cfg := bench.Config{Scale: *scale, Quick: *quick, TempDir: *tempDir, Workers: resolvedWorkers, Storage: backend, Codec: *codecName, Retries: *retry, Shards: *shards}
 	report := bench.NewReport(*experiment, cfg, ms)
 	if *jsonPath != "" {
 		if err := report.WriteFile(*jsonPath); err != nil {

@@ -24,7 +24,7 @@ import (
 	"path"
 
 	"extscc"
-	"extscc/internal/storage"
+	"extscc/internal/cliflags"
 )
 
 func main() {
@@ -37,14 +37,14 @@ func main() {
 	degree := flag.Int("degree", 0, "override the average degree (0 = preset default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "", "output edge file on the local filesystem (required)")
-	storageName := flag.String("storage", "", "storage backend the generator writes through: os (default; straight to -out) or mem (generate in RAM, then copy the finished file to -out)")
-	retry := flag.Int("retry", 0, "retry transient storage failures up to this many times per operation (0 = fail fast)")
+	storageName := cliflags.Storage()
+	retry := cliflags.Retry()
 	flag.Parse()
 
 	if *out == "" {
 		log.Fatal("-out is required")
 	}
-	backend, err := storage.ByName(*storageName)
+	backend, err := cliflags.ResolveStorage(*storageName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if target != *out {
-		if err := storage.Copy(storage.OS(), *out, backend, target); err != nil {
+		if err := cliflags.ExportFile(backend, *out, target); err != nil {
 			os.Remove(*out)
 			log.Fatalf("export generated file to %s: %v", *out, err)
 		}

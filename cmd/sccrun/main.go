@@ -7,6 +7,7 @@
 //
 //	sccrun -algo ext-scc-op -memory 4194304 -in web.edges -out web.scc
 //	sccrun -algo dfs-scc -max-ios 2000000 -in web.edges
+//	sccrun -storage shard=os:/vol0,os:/vol1 -shards 2 -in web.edges
 //	sccrun -algo help
 package main
 
@@ -17,12 +18,10 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"path"
 	"time"
 
 	"extscc"
-	"extscc/internal/iomodel"
-	"extscc/internal/storage"
+	"extscc/internal/cliflags"
 )
 
 func main() {
@@ -32,46 +31,36 @@ func main() {
 	algo := flag.String("algo", "ext-scc-op", "algorithm to run (\"help\" lists the registry)")
 	in := flag.String("in", "", "input edge file (required)")
 	out := flag.String("out", "", "output label file (optional; discarded if empty)")
-	memory := flag.Int64("memory", iomodel.DefaultMemory, "memory budget in bytes")
-	block := flag.Int("block", iomodel.DefaultBlockSize, "block size in bytes")
-	nodeBudget := flag.Int64("node-budget", 0, "override the semi-external node capacity")
-	workers := flag.Int("workers", 0, "worker count for the parallel sorter and overlapped I/O (0 = all CPUs, 1 = sequential)")
+	memory := cliflags.Memory()
+	block := cliflags.Block()
+	nodeBudget := cliflags.NodeBudget()
+	workers := cliflags.Workers(0)
 	tempDir := flag.String("tmp", os.TempDir(), "directory for intermediate files")
-	storageName := flag.String("storage", "", "storage backend: os (default; local disk) or mem (diskless: the input is staged into RAM, all intermediates live in RAM, -out copies the labels back to disk)")
-	codecName := flag.String("codec", "", "record codec for intermediate files: varint (default; delta+varint compressed frames, fewer bytes and block I/Os) or fixed (frameless record-indexed layout, byte-identical to the historical format)")
-	retry := flag.Int("retry", 0, "retry transient storage failures up to this many times per operation (0 = fail fast, the historical behaviour)")
+	storageName := cliflags.Storage()
+	codecName := cliflags.Codec()
+	retry := cliflags.Retry()
+	shards := flag.Int("shards", 0, "split the contraction into this many concurrent per-node-range shards (0 = unsharded)")
 	maxDur := flag.Duration("max-duration", 0, "abort after this duration (0 = unlimited)")
 	maxIOs := flag.Int64("max-ios", 0, "abort after this many block I/Os, for algorithms that support the cap (0 = unlimited)")
 	flag.Parse()
 
 	if *algo == "help" || *algo == "list" {
-		fmt.Println("registered algorithms:")
-		for _, a := range extscc.Algorithms() {
-			fmt.Printf("  %-12s %s\n", a.Name(), a.Description())
-		}
+		cliflags.ListAlgorithms(os.Stdout)
 		return
 	}
 	if *in == "" {
 		log.Fatal("-in is required")
 	}
-	backend, err := storage.ByName(*storageName)
+	backend, err := cliflags.ResolveStorage(*storageName)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// A diskless run still reads its input from the local filesystem: the
-	// edge file is staged into the in-memory store up front, outside the
-	// accounted I/O (crossing the storage boundary is not part of any
-	// algorithm's cost).
-	input := *in
-	if backend.Name() != "os" {
-		staged := path.Join(backend.TempPath(), "sccrun-input.edges")
-		if err := storage.Copy(backend, staged, storage.OS(), *in); err != nil {
-			log.Fatalf("stage %s into the %s backend: %v", *in, backend.Name(), err)
-		}
-		defer backend.Remove(staged)
-		input = staged
+	input, unstage, err := cliflags.StageInput(backend, "sccrun", *in)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer unstage()
 
 	eng, err := extscc.New(
 		extscc.WithAlgorithm(*algo),
@@ -83,6 +72,7 @@ func main() {
 		extscc.WithStorage(backend),
 		extscc.WithCodec(*codecName),
 		extscc.WithRetry(*retry),
+		extscc.WithShards(*shards),
 		extscc.WithMaxIOs(*maxIOs),
 		extscc.WithProgress(func(p extscc.Progress) {
 			fmt.Printf("  iteration %d: |V|=%d |E|=%d removed=%d preserved=%d added=%d\n",
@@ -130,9 +120,9 @@ func main() {
 				log.Fatal(err)
 			}
 		} else {
-			// The label file lives in the in-memory store; copy the bytes
-			// back onto the local filesystem.
-			if err := storage.Copy(storage.OS(), *out, backend, res.LabelPath); err != nil {
+			// The label file lives on the run's backend; copy the bytes back
+			// onto the local filesystem.
+			if err := cliflags.ExportFile(backend, *out, res.LabelPath); err != nil {
 				log.Fatal(err)
 			}
 		}

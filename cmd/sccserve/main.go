@@ -26,14 +26,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"path"
 	"syscall"
 	"time"
 
 	"extscc"
+	"extscc/internal/cliflags"
 	"extscc/internal/iomodel"
 	"extscc/internal/serve"
-	"extscc/internal/storage"
 )
 
 func main() {
@@ -46,13 +45,13 @@ func main() {
 	degree := flag.Int("degree", 0, "average degree for -gen (0 = preset default)")
 	seed := flag.Int64("seed", 1, "seed for -gen")
 	algo := flag.String("algo", "", "algorithm to ingest with (\"\" = engine default; \"help\" lists the registry)")
-	memory := flag.Int64("memory", iomodel.DefaultMemory, "memory budget in bytes")
-	block := flag.Int("block", iomodel.DefaultBlockSize, "block size in bytes")
-	workers := flag.Int("workers", 0, "worker count (0 = all CPUs)")
+	memory := cliflags.Memory()
+	block := cliflags.Block()
+	workers := cliflags.Workers(0)
 	tempDir := flag.String("tmp", "", "directory for materialised files (\"\" = system temp)")
-	storageName := flag.String("storage", "", "storage backend: os (default; local disk) or mem (diskless hot serving)")
-	codecName := flag.String("codec", "", "record codec: varint (default; compressed frames) or fixed (seekable layout, point lookups without an in-memory table)")
-	retry := flag.Int("retry", 0, "retry transient storage failures up to this many times per operation")
+	storageName := cliflags.Storage()
+	codecName := cliflags.Codec()
+	retry := cliflags.Retry()
 	addr := flag.String("addr", "127.0.0.1:0", "HTTP listen address")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long to coalesce concurrent lookups into one sweep")
 	batchMax := flag.Int("batch-max", 256, "max point lookups per sweep")
@@ -61,37 +60,29 @@ func main() {
 	flag.Parse()
 
 	if *algo == "help" || *algo == "list" {
-		fmt.Println("registered algorithms:")
-		for _, a := range extscc.Algorithms() {
-			fmt.Printf("  %-12s %s\n", a.Name(), a.Description())
-		}
+		cliflags.ListAlgorithms(os.Stdout)
 		return
 	}
 	if (*in == "") == (*gen == "") {
 		log.Fatal("exactly one of -in or -gen is required")
 	}
-	backend, err := storage.ByName(*storageName)
+	backend, err := cliflags.ResolveStorage(*storageName)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	var src extscc.Source
-	switch {
-	case *gen != "":
+	if *gen != "" {
 		src = extscc.GeneratorSource(extscc.GeneratorSpec{
 			Kind: *gen, Nodes: *nodes, Degree: *degree, Seed: *seed, Retries: *retry,
 		})
-	case backend.Name() != "os":
-		// A diskless server still reads its input from the local filesystem:
-		// stage the edge file into the in-memory store up front.
-		staged := path.Join(backend.TempPath(), "sccserve-input.edges")
-		if err := storage.Copy(backend, staged, storage.OS(), *in); err != nil {
-			log.Fatalf("stage %s into the %s backend: %v", *in, backend.Name(), err)
+	} else {
+		staged, unstage, err := cliflags.StageInput(backend, "sccserve", *in)
+		if err != nil {
+			log.Fatal(err)
 		}
-		defer backend.Remove(staged)
+		defer unstage()
 		src = extscc.FileSource(staged)
-	default:
-		src = extscc.FileSource(*in)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -17,6 +17,7 @@ import (
 	"log"
 
 	"extscc"
+	"extscc/internal/cliflags"
 	"extscc/internal/iomodel"
 	"extscc/internal/memgraph"
 	"extscc/internal/recio"
@@ -30,8 +31,9 @@ func main() {
 	graphPath := flag.String("graph", "", "edge file of the graph (required)")
 	labelPath := flag.String("labels", "", "label file to verify")
 	algo := flag.String("algo", "", "registered algorithm to run and verify instead of -labels")
-	nodeBudget := flag.Int64("node-budget", 0, "override the semi-external node capacity for -algo runs")
-	retry := flag.Int("retry", 0, "retry transient storage failures up to this many times per operation for -algo runs (0 = fail fast)")
+	nodeBudget := cliflags.NodeBudget()
+	storageName := cliflags.Storage()
+	retry := cliflags.Retry()
 	flag.Parse()
 	if *graphPath == "" || (*labelPath == "") == (*algo == "") {
 		log.Fatal("-graph and exactly one of -labels or -algo are required")
@@ -42,6 +44,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The ground truth always reads from the local filesystem, whatever
+	// backend the -algo run uses.
 	edges, err := recio.ReadAll(*graphPath, record.EdgeCodec{}, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -49,15 +53,25 @@ func main() {
 
 	var got []record.Label
 	if *algo != "" {
+		backend, err := cliflags.ResolveStorage(*storageName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		input, unstage, err := cliflags.StageInput(backend, "sccverify", *graphPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer unstage()
 		eng, err := extscc.New(
 			extscc.WithAlgorithm(*algo),
 			extscc.WithNodeBudget(*nodeBudget),
+			extscc.WithStorage(backend),
 			extscc.WithRetry(*retry),
 		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := eng.Run(context.Background(), extscc.FileSource(*graphPath))
+		res, err := eng.Run(context.Background(), extscc.FileSource(input))
 		if err != nil {
 			log.Fatal(err)
 		}

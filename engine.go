@@ -22,6 +22,7 @@ type Engine struct {
 	base     iomodel.Config
 	keepTemp bool
 	maxIOs   int64
+	shards   int
 	progress func(Progress)
 }
 
@@ -180,6 +181,56 @@ func WithStorage(b Storage) Option {
 		return nil
 	}
 }
+
+// WithShards enables the sharded contraction pre-pass: the input is
+// partitioned into n contiguous source-node ranges, each range's internal
+// subgraph is fully contracted by a concurrent Ext-SCC run, and the engine's
+// configured algorithm then finishes the condensed remainder.  0 or 1 (the
+// default) disables the pre-pass.  Sharding never changes the computed SCC
+// partition — every algorithm produces the same components sharded or not —
+// but the label chosen to name a component may differ between the two modes
+// (both are always member ids), and the accounted I/O includes the extra
+// split/condense passes.  Shard solves run concurrently, so the transient
+// memory footprint grows to roughly n × the memory budget.
+func WithShards(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("extscc: WithShards(%d): shard count cannot be negative", n)
+		}
+		e.shards = n
+		return nil
+	}
+}
+
+// WithShardedStorage composes WithStorage and WithShards: every run stores
+// its files across the given child backends (hash-routed, see
+// ParseStorage's "shard=" spec for the CLI equivalent) and runs the sharded
+// contraction pre-pass with one compute shard per child, so each volume
+// serves roughly one shard's working set.  At least one child is required;
+// with a single child only the storage composition applies (one compute
+// shard means no pre-pass).
+func WithShardedStorage(children ...Storage) Option {
+	return func(e *Engine) error {
+		for _, c := range children {
+			if c == nil {
+				return errors.New("extscc: WithShardedStorage: nil child backend")
+			}
+		}
+		if len(children) == 0 {
+			return errors.New("extscc: WithShardedStorage: no child backends")
+		}
+		e.base.Storage = storage.NewSharded(children...)
+		e.shards = len(children)
+		return nil
+	}
+}
+
+// ParseStorage resolves a storage spec string to a backend using the same
+// grammar as the EXTSCC_STORAGE environment variable and every CLI -storage
+// flag: "os", "mem", or "shard=child,child,..." where each child is "os",
+// "mem", or "os:DIR" for a backend rooted at a specific directory (one
+// volume per physical disk, typically).
+func ParseStorage(spec string) (Storage, error) { return storage.Parse(spec) }
 
 // CodecFixed and CodecVarint name the built-in record-codec families
 // accepted by WithCodec.
@@ -341,7 +392,14 @@ func (e *Engine) Run(ctx context.Context, src Source) (*Result, error) {
 	}
 	start := time.Now()
 	before := cfg.Stats.Snapshot()
-	ares, err := e.algo.Run(ctx, task)
+	var ares AlgoResult
+	// The pre-pass needs at least one node per shard; smaller inputs just run
+	// unsharded, which computes the same partition.
+	if k := e.shards; k > 1 && int64(k) <= g.NumNodes {
+		ares, err = runSharded(ctx, e.algo, task, k)
+	} else {
+		ares, err = e.algo.Run(ctx, task)
+	}
 	if err != nil {
 		return fail(err)
 	}

@@ -76,6 +76,15 @@ func assertClean(t *testing.T, tag string, inner extscc.Storage, tempDir string)
 		}
 		return
 	}
+	if s, ok := inner.(*storage.ShardedBackend); ok {
+		// Crash-clean must hold on every child volume, not just in union.
+		for i, c := range s.Children() {
+			if m, ok := c.(*storage.MemBackend); ok && m.Len() != 0 {
+				t.Errorf("%s: run left %d files on shard child %d: %v", tag, m.Len(), i, m.Paths())
+			}
+		}
+		return
+	}
 	left, err := inner.List(tempDir)
 	if err != nil {
 		t.Fatalf("%s: list %s: %v", tag, tempDir, err)
@@ -103,13 +112,17 @@ func TestEngineFaultSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fault sweep is a multi-run workload; skipped with -short")
 	}
-	for _, backendName := range []string{"mem", "os"} {
+	for _, backendName := range []string{"mem", "os", "shard"} {
 		for _, codec := range []string{extscc.CodecFixed, extscc.CodecVarint} {
 			t.Run(backendName+"/"+codec, func(t *testing.T) {
 				newBackend := func() (extscc.Storage, string) {
-					if backendName == "mem" {
+					switch backendName {
+					case "mem":
 						m := storage.NewMem()
 						return m, m.TempPath()
+					case "shard":
+						s := storage.NewSharded(storage.NewMem(), storage.NewMem())
+						return s, s.TempPath()
 					}
 					return storage.OS(), t.TempDir()
 				}

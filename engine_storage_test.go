@@ -3,7 +3,9 @@ package extscc_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"extscc"
@@ -130,5 +132,166 @@ func TestFileSourceMissingOnMem(t *testing.T) {
 	}
 	if _, err := eng.Run(context.Background(), extscc.FileSource(filepath.Join(t.TempDir(), "missing.edges"))); err == nil {
 		t.Fatal("expected an error for a missing edge file")
+	}
+}
+
+// canonicalPartition rewrites a labelling so every component is named by its
+// minimum member.  Sharded and unsharded runs agree on the partition but not
+// necessarily on which member id names each component (both always pick a
+// member), so equivalence is compared in this canonical form.
+func canonicalPartition(t *testing.T, labels []extscc.Label) []extscc.Label {
+	t.Helper()
+	min := make(map[extscc.NodeID]extscc.NodeID, len(labels))
+	for _, l := range labels {
+		if cur, ok := min[l.SCC]; !ok || l.Node < cur {
+			min[l.SCC] = l.Node
+		}
+	}
+	out := make([]extscc.Label, len(labels))
+	for i, l := range labels {
+		out[i] = extscc.Label{Node: l.Node, SCC: min[l.SCC]}
+	}
+	return out
+}
+
+// TestShardedEquivalence is the engine-level contract of WithShards /
+// WithShardedStorage: for every registered algorithm and both codec
+// families, a sharded run computes the identical SCC partition to the
+// unsharded run, at workers=1 and workers=NumCPU.
+func TestShardedEquivalence(t *testing.T) {
+	edges := graphgen.Random(220, 660, 11)
+	extra := []extscc.NodeID{500, 501} // isolated nodes exercise the node split
+
+	type outcome struct {
+		labels  []extscc.Label
+		stats   extscc.Stats
+		numSCCs int64
+		err     error
+	}
+	run := func(t *testing.T, algo, codec string, workers int, sharded bool) outcome {
+		t.Helper()
+		opts := []extscc.Option{
+			extscc.WithAlgorithm(algo),
+			extscc.WithCodec(codec),
+			extscc.WithNodeBudget(40),
+			extscc.WithWorkers(workers),
+			extscc.WithTempDir(t.TempDir()),
+		}
+		if sharded {
+			opts = append(opts, extscc.WithShardedStorage(
+				extscc.MemStorage(), extscc.MemStorage(), extscc.MemStorage()))
+		} else {
+			opts = append(opts, extscc.WithStorage(extscc.MemStorage()))
+		}
+		eng, err := extscc.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(context.Background(), extscc.SliceSource(edges, extra...))
+		if err != nil {
+			return outcome{err: err}
+		}
+		defer res.Close()
+		labels, err := res.Labels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{labels: labels, stats: res.Stats, numSCCs: res.NumSCCs}
+	}
+
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, algo := range extscc.Algorithms() {
+		for _, codec := range extscc.Codecs() {
+			for _, workers := range workerCounts {
+				t.Run(fmt.Sprintf("%s/%s/workers=%d", algo.Name(), codec, workers), func(t *testing.T) {
+					flat := run(t, algo.Name(), codec, workers, false)
+					shard := run(t, algo.Name(), codec, workers, true)
+
+					// em-scc may legitimately converge on the condensed
+					// remainder while diverging on the full graph (or vice
+					// versa): the pre-pass changes the input it iterates on.
+					// Any other failure must not depend on sharding.
+					if flat.err != nil || shard.err != nil {
+						for mode, err := range map[string]error{"unsharded": flat.err, "sharded": shard.err} {
+							if err != nil && !errors.Is(err, extscc.ErrDidNotConverge) {
+								t.Fatalf("%s run failed: %v", mode, err)
+							}
+						}
+						t.Skipf("skipping comparison: unsharded err=%v, sharded err=%v", flat.err, shard.err)
+					}
+					if flat.numSCCs != shard.numSCCs {
+						t.Fatalf("SCC count differs: unsharded=%d sharded=%d", flat.numSCCs, shard.numSCCs)
+					}
+					want := canonicalPartition(t, flat.labels)
+					got := canonicalPartition(t, shard.labels)
+					if len(want) != len(got) {
+						t.Fatalf("label count differs: unsharded=%d sharded=%d", len(want), len(got))
+					}
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("partition differs at %d: unsharded=%v sharded=%v", i, want[i], got[i])
+						}
+					}
+					// Stats sanity: the sharded run is a real accounted
+					// computation on the composed backend, not a bypass.
+					if shard.stats.Storage != "shard" {
+						t.Fatalf("Stats.Storage = %q, want \"shard\"", shard.stats.Storage)
+					}
+					if shard.stats.TotalIOs <= 0 || shard.stats.BytesWritten <= 0 {
+						t.Fatalf("sharded run accounted no I/O: %+v", shard.stats)
+					}
+					// The pre-pass contracts, so a sharded run always reports
+					// contraction iterations, whatever finishes the remainder.
+					if shard.stats.ContractionIterations == 0 {
+						t.Error("sharded run reported zero contraction iterations")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardOptionValidation pins the construction-time contract of the
+// sharding options.
+func TestShardOptionValidation(t *testing.T) {
+	if _, err := extscc.New(extscc.WithShards(-1)); err == nil {
+		t.Fatal("expected an error for WithShards(-1)")
+	}
+	if _, err := extscc.New(extscc.WithShardedStorage()); err == nil {
+		t.Fatal("expected an error for WithShardedStorage with no children")
+	}
+	if _, err := extscc.New(extscc.WithShardedStorage(extscc.MemStorage(), nil)); err == nil {
+		t.Fatal("expected an error for a nil shard child")
+	}
+	// 0 and 1 are valid and mean "unsharded".
+	for _, n := range []int{0, 1} {
+		eng, err := extscc.New(extscc.WithShards(n), extscc.WithStorage(extscc.MemStorage()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(context.Background(), extscc.SliceSource(graphgen.Cycle(30)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumSCCs != 1 {
+			t.Fatalf("WithShards(%d): NumSCCs = %d, want 1", n, res.NumSCCs)
+		}
+		res.Close()
+	}
+	// More shards than nodes silently runs unsharded rather than failing.
+	eng, err := extscc.New(extscc.WithShards(64), extscc.WithStorage(extscc.MemStorage()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), extscc.SliceSource(graphgen.Cycle(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.NumSCCs != 1 {
+		t.Fatalf("NumSCCs = %d, want 1", res.NumSCCs)
 	}
 }

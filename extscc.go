@@ -13,9 +13,12 @@
 //     GeneratorSource (synthetic workloads) and PreparedSource (pre-staged
 //     files).  Anything that stages an edge file can implement Source.
 //   - Storage selects where every file of a run lives: OSStorage (local
-//     disk, the default) or MemStorage (fully in RAM), chosen with
-//     WithStorage.  The backend never changes the labelling or the
-//     accounted I/O — only where the bytes live.
+//     disk, the default), MemStorage (fully in RAM), or a sharded
+//     composition of several child volumes (WithShardedStorage, or the
+//     "shard=..." spec of ParseStorage), chosen with WithStorage.  The
+//     backend never changes the labelling or the accounted I/O — only
+//     where the bytes live.  WithShards additionally splits the
+//     computation itself into concurrent per-shard contraction runs.
 //   - Codecs select how records are laid out on disk: CodecVarint
 //     (delta+varint compressed frames, the default) or CodecFixed (the
 //     frameless record-indexed layout), chosen with WithCodec.  The codec
@@ -40,17 +43,9 @@
 // An SCC label is an opaque uint32; two nodes belong to the same strongly
 // connected component exactly when their labels are equal, and every label
 // is the identifier of one of the component's member nodes.
-//
-// Compute and ComputeFile are retained as deprecated wrappers over the
-// engine for callers of the original two-entry-point API.
 package extscc
 
-import (
-	"context"
-	"time"
-
-	"extscc/internal/record"
-)
+import "extscc/internal/record"
 
 // Edge is a directed edge from U to V.
 type Edge = record.Edge
@@ -60,74 +55,3 @@ type Label = record.Label
 
 // NodeID identifies a node.
 type NodeID = record.NodeID
-
-// Options configures a computation made through the deprecated Compute /
-// ComputeFile wrappers.  The zero value requests the optimised algorithm
-// (Ext-SCC-Op) with the default scaled-down I/O-model parameters.
-//
-// Deprecated: build an Engine with New and functional options instead.
-type Options struct {
-	// MemoryBytes is the main-memory budget M (0 = iomodel.DefaultMemory).
-	MemoryBytes int64
-	// BlockSize is the disk block size B in bytes (0 = iomodel.DefaultBlockSize).
-	BlockSize int
-	// NodeBudget optionally overrides the number of nodes considered to fit
-	// in memory, decoupling the contraction stop condition from MemoryBytes.
-	NodeBudget int64
-	// TempDir is where intermediate files are written ("" = system temp).
-	TempDir string
-	// Basic disables the Section VII optimisations, i.e. runs plain Ext-SCC
-	// instead of Ext-SCC-Op.
-	Basic bool
-	// MaxDuration aborts the computation once exceeded (0 = no limit).  New
-	// code should pass a context with a deadline to Engine.Run instead.
-	MaxDuration time.Duration
-	// KeepTemp retains intermediate files for debugging.
-	KeepTemp bool
-}
-
-// ComputeFile computes the SCCs of the graph stored in the edge file at
-// edgePath: a sequence of 8-byte little-endian (u uint32, v uint32) records.
-// The node set is the set of edge endpoints plus extraNodes (for isolated
-// nodes).
-//
-// Deprecated: use New and Engine.Run with FileSource.
-func ComputeFile(edgePath string, extraNodes []NodeID, opts Options) (*Result, error) {
-	return opts.run(FileSource(edgePath, extraNodes...))
-}
-
-// Compute computes the SCCs of an in-memory edge list (plus optional
-// isolated nodes).  It spills the edges to a temporary file and runs the
-// external algorithm, so its memory footprint stays within the configured
-// budget even for inputs larger than that budget.
-//
-// Deprecated: use New and Engine.Run with SliceSource.
-func Compute(edges []Edge, extraNodes []NodeID, opts Options) (*Result, error) {
-	return opts.run(SliceSource(edges, extraNodes...))
-}
-
-// run maps the legacy Options onto the engine.
-func (o Options) run(src Source) (*Result, error) {
-	algo := "ext-scc-op"
-	if o.Basic {
-		algo = "ext-scc"
-	}
-	eng, err := New(
-		WithAlgorithm(algo),
-		WithMemory(o.MemoryBytes),
-		WithBlockSize(o.BlockSize),
-		WithNodeBudget(o.NodeBudget),
-		WithTempDir(o.TempDir),
-		WithKeepTemp(o.KeepTemp),
-	)
-	if err != nil {
-		return nil, err
-	}
-	ctx := context.Background()
-	if o.MaxDuration > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, o.MaxDuration)
-		defer cancel()
-	}
-	return eng.Run(ctx, src)
-}

@@ -1,6 +1,7 @@
 package extscc_test
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -12,9 +13,20 @@ import (
 	"extscc/internal/record"
 )
 
-func TestComputePaperExample(t *testing.T) {
+// runSlice builds an engine from opts and runs it on an in-memory edge list.
+func runSlice(t *testing.T, edges []extscc.Edge, extra []extscc.NodeID, opts ...extscc.Option) (*extscc.Result, error) {
+	t.Helper()
+	eng, err := extscc.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(context.Background(), extscc.SliceSource(edges, extra...))
+}
+
+func TestRunPaperExample(t *testing.T) {
 	edges, nodes := graphgen.PaperExample()
-	res, err := extscc.Compute(edges, nodes, extscc.Options{NodeBudget: 4, TempDir: t.TempDir()})
+	res, err := runSlice(t, edges, nodes,
+		extscc.WithNodeBudget(4), extscc.WithTempDir(t.TempDir()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +55,14 @@ func TestComputePaperExample(t *testing.T) {
 	}
 }
 
-func TestComputeMatchesTarjan(t *testing.T) {
+func TestRunMatchesTarjan(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		edges := graphgen.Random(80, 240, seed)
-		for _, basic := range []bool{false, true} {
-			res, err := extscc.Compute(edges, nil, extscc.Options{NodeBudget: 15, TempDir: t.TempDir(), Basic: basic})
+		for _, algo := range []string{"ext-scc-op", "ext-scc"} {
+			res, err := runSlice(t, edges, nil,
+				extscc.WithAlgorithm(algo),
+				extscc.WithNodeBudget(15),
+				extscc.WithTempDir(t.TempDir()))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -57,14 +72,14 @@ func TestComputeMatchesTarjan(t *testing.T) {
 			}
 			want := memgraph.FromEdges(edges, nil).Tarjan().Labels()
 			if !memgraph.SameSCCPartition(got, want) {
-				t.Fatalf("seed %d basic=%v: partition mismatch", seed, basic)
+				t.Fatalf("seed %d algo=%s: partition mismatch", seed, algo)
 			}
 			res.Close()
 		}
 	}
 }
 
-func TestComputeFile(t *testing.T) {
+func TestRunFileSource(t *testing.T) {
 	dir := t.TempDir()
 	cfg, err := iomodel.DefaultConfig().Validate()
 	if err != nil {
@@ -75,7 +90,11 @@ func TestComputeFile(t *testing.T) {
 	if err := recio.WriteSlice(edgePath, record.EdgeCodec{}, cfg, edges); err != nil {
 		t.Fatal(err)
 	}
-	res, err := extscc.ComputeFile(edgePath, []extscc.NodeID{200, 201}, extscc.Options{NodeBudget: 20, TempDir: dir})
+	eng, err := extscc.New(extscc.WithNodeBudget(20), extscc.WithTempDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), extscc.FileSource(edgePath, 200, 201))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,8 +117,9 @@ func TestComputeFile(t *testing.T) {
 	}
 }
 
-func TestComputeEmptyGraph(t *testing.T) {
-	res, err := extscc.Compute(nil, []extscc.NodeID{1, 2, 3}, extscc.Options{TempDir: t.TempDir()})
+func TestRunEmptyGraph(t *testing.T) {
+	res, err := runSlice(t, nil, []extscc.NodeID{1, 2, 3},
+		extscc.WithTempDir(t.TempDir()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,22 +129,26 @@ func TestComputeEmptyGraph(t *testing.T) {
 	}
 }
 
-func TestComputeInvalidOptions(t *testing.T) {
-	_, err := extscc.Compute(graphgen.Cycle(4), nil, extscc.Options{MemoryBytes: 100, BlockSize: 100, TempDir: t.TempDir()})
+func TestNewInvalidConfig(t *testing.T) {
+	_, err := extscc.New(extscc.WithMemory(100), extscc.WithBlockSize(100))
 	if err == nil {
 		t.Fatal("expected an error for M < 2*B")
 	}
 }
 
-func TestComputeFileMissing(t *testing.T) {
-	_, err := extscc.ComputeFile(filepath.Join(t.TempDir(), "missing.edges"), nil, extscc.Options{TempDir: t.TempDir()})
+func TestRunFileMissing(t *testing.T) {
+	eng, err := extscc.New(extscc.WithTempDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(context.Background(), extscc.FileSource(filepath.Join(t.TempDir(), "missing.edges")))
 	if err == nil {
 		t.Fatal("expected an error for a missing edge file")
 	}
 }
 
 func TestResultCloseIdempotent(t *testing.T) {
-	res, err := extscc.Compute(graphgen.Cycle(10), nil, extscc.Options{TempDir: t.TempDir()})
+	res, err := runSlice(t, graphgen.Cycle(10), nil, extscc.WithTempDir(t.TempDir()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -241,54 +241,6 @@ func emPartitionPass(edgePath string, partitionEdges int, temp func(string) stri
 	return sorted, pairs, nil
 }
 
-// relabelEdges rewrites one endpoint of every edge according to the relabel
-// file (sorted by node).  byTarget selects which endpoint; the edge file must
-// be sorted by that endpoint.
-func relabelEdges(edgePath, relabelPath, outPath string, byTarget bool, cfg iomodel.Config) error {
-	eR, err := recio.NewReader(edgePath, record.EdgeCodec{}, cfg)
-	if err != nil {
-		return err
-	}
-	defer eR.Close()
-	mR, err := recio.NewReader(relabelPath, record.LabelCodec{}, cfg)
-	if err != nil {
-		return err
-	}
-	defer mR.Close()
-	w, err := recio.NewWriter(outPath, record.EdgeCodec{}, cfg)
-	if err != nil {
-		return err
-	}
-	edges := recio.NewPeekable[record.Edge](eR.Iter())
-	maps := recio.NewPeekable[record.Label](mR.Iter())
-	for edges.Valid() {
-		e := edges.Pop()
-		key := e.U
-		if byTarget {
-			key = e.V
-		}
-		for maps.Valid() && maps.Peek().Node < key {
-			maps.Pop()
-		}
-		if maps.Valid() && maps.Peek().Node == key {
-			if byTarget {
-				e.V = maps.Peek().SCC
-			} else {
-				e.U = maps.Peek().SCC
-			}
-		}
-		if err := w.Write(e); err != nil {
-			w.Close()
-			return err
-		}
-	}
-	if edges.Err() != nil {
-		w.Close()
-		return edges.Err()
-	}
-	return w.Close()
-}
-
 // emApplyRelabel rewrites both endpoints of the edge file, removes self-loops
 // and parallel edges, and returns the new edge count.
 func emApplyRelabel(edgePath, relabelPath string, outPath string, temp func(string) string, cfg iomodel.Config) (int64, error) {
@@ -297,7 +249,7 @@ func emApplyRelabel(edgePath, relabelPath string, outPath string, temp func(stri
 		return 0, err
 	}
 	relabeledU := temp("em-relabeled-u")
-	if err := relabelEdges(bySource, relabelPath, relabeledU, false, cfg); err != nil {
+	if err := edgefile.RelabelEdges(bySource, relabelPath, relabeledU, false, cfg); err != nil {
 		return 0, err
 	}
 	byTarget := temp("em-by-target")
@@ -305,7 +257,7 @@ func emApplyRelabel(edgePath, relabelPath string, outPath string, temp func(stri
 		return 0, err
 	}
 	relabeledV := temp("em-relabeled-v")
-	if err := relabelEdges(byTarget, relabelPath, relabeledV, true, cfg); err != nil {
+	if err := edgefile.RelabelEdges(byTarget, relabelPath, relabeledV, true, cfg); err != nil {
 		return 0, err
 	}
 	sorted := temp("em-sorted")

@@ -32,6 +32,7 @@ type ReportEntry struct {
 	Workers      int    `json:"workers"`
 	Storage      string `json:"storage,omitempty"`
 	Codec        string `json:"codec,omitempty"`
+	Shards       int    `json:"shards,omitempty"`
 	DurationMS   int64  `json:"duration_ms"`
 	TotalIOs     int64  `json:"total_ios"`
 	RandomIOs    int64  `json:"random_ios"`
@@ -56,6 +57,9 @@ func (e ReportEntry) key() string {
 	if e.Codec != "" && e.Codec != "fixed" {
 		k += "|c=" + e.Codec
 	}
+	if e.Shards > 1 {
+		k += fmt.Sprintf("|n=%d", e.Shards)
+	}
 	return k
 }
 
@@ -77,6 +81,7 @@ func NewReport(experiment string, c Config, ms []Measurement) Report {
 			Workers:      m.Workers,
 			Storage:      m.Storage,
 			Codec:        m.Codec,
+			Shards:       m.shardCount(),
 			DurationMS:   m.Duration.Milliseconds(),
 			TotalIOs:     m.TotalIOs,
 			RandomIOs:    m.RandomIOs,
@@ -325,6 +330,40 @@ func CompareCodecs(ms []Measurement, baseCodec, otherCodec string) CodecSavings 
 		s.Points++
 	}
 	return s
+}
+
+// VerifyShardEquivalence checks the result guarantee of the sharded
+// contraction pre-pass across measurements that hold the same sweep at
+// several shard counts: for every (experiment, x, series, workers, codec)
+// point that completed at both shard counts, the number of SCCs must be
+// identical.  Iteration and I/O counts are deliberately NOT compared — the
+// pre-pass adds split/condense passes and changes where contraction
+// happens — and neither is the INF status of budget-capped runs: the
+// pre-pass shrinks the graph the capped algorithm sees, so a run that blew
+// its budget unsharded may finish within it sharded.  An INF run carries no
+// SCC count, so such pairs are skipped rather than compared.
+func VerifyShardEquivalence(ms []Measurement) []string {
+	points := map[string]Measurement{}
+	var violations []string
+	for _, m := range ms {
+		k := fmt.Sprintf("%s|%s|%s|w=%d|c=%s", m.Experiment, m.X, m.Series, m.Workers, m.Codec)
+		ref, ok := points[k]
+		if !ok {
+			points[k] = m
+			continue
+		}
+		if ref.shardCount() == m.shardCount() {
+			continue
+		}
+		if ref.INF || m.INF {
+			continue
+		}
+		if ref.NumSCCs != m.NumSCCs {
+			violations = append(violations, fmt.Sprintf("%s: SCC count differs between shards=%d (%d) and shards=%d (%d)", k, ref.shardCount(), ref.NumSCCs, m.shardCount(), m.NumSCCs))
+		}
+	}
+	sort.Strings(violations)
+	return violations
 }
 
 // VerifyWorkerEquivalence checks the core guarantee of WithWorkers across a

@@ -72,6 +72,10 @@ type Measurement struct {
 	// the quantities a compressing codec shrinks.
 	BytesRead    int64
 	BytesWritten int64
+	// Shards is the compute-shard count of the run (1 = unsharded).  The
+	// sharded pre-pass preserves every SCC count but adds split/condense
+	// passes, so the I/O counts are not comparable across shard counts.
+	Shards int
 	// Iterations is the number of contraction iterations (Ext-SCC variants).
 	Iterations int
 	// NumSCCs is the number of SCCs found (sanity check across algorithms).
@@ -113,6 +117,10 @@ type Config struct {
 	// (0 = fail fast).  Retried transfers are never double-counted, so the
 	// measured I/O is identical at every setting.
 	Retries int
+	// Shards is the compute-shard count of the sharded contraction pre-pass
+	// (0 or 1 = unsharded).  Shard solves run concurrently, so the wall-clock
+	// drops with spare CPUs while every SCC count stays identical.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +145,14 @@ func (c Config) resolvedWorkers() int {
 		return 1
 	}
 	return c.Workers
+}
+
+// resolvedShards returns the effective compute-shard count.
+func (c Config) resolvedShards() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
 }
 
 // ioConfig builds the I/O-model configuration for one run.
@@ -325,6 +341,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 		extscc.WithStorage(backend),
 		extscc.WithCodec(c.Codec),
 		extscc.WithRetry(c.Retries),
+		extscc.WithShards(c.resolvedShards()),
 	}
 	ctx := context.Background()
 	if budgeted {
@@ -350,7 +367,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 	res, err := eng.Run(ctx, extscc.PreparedSource(g.EdgePath, g.NodePath, g.NumNodes, g.NumEdges))
 	switch {
 	case errors.Is(err, extscc.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded):
-		return Measurement{Experiment: experiment, Series: series, X: x, Workers: c.resolvedWorkers(), Storage: backend.Name(), Codec: c.ioConfig(0).CodecFamily(), INF: true, Note: "exceeded budget"}, nil
+		return Measurement{Experiment: experiment, Series: series, X: x, Workers: c.resolvedWorkers(), Storage: backend.Name(), Codec: c.ioConfig(0).CodecFamily(), Shards: c.resolvedShards(), INF: true, Note: "exceeded budget"}, nil
 	case err != nil:
 		return Measurement{}, err
 	}
@@ -362,6 +379,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 		Workers:      res.Stats.Workers,
 		Storage:      res.Stats.Storage,
 		Codec:        res.Stats.Codec,
+		Shards:       c.resolvedShards(),
 		Duration:     res.Stats.Duration,
 		TotalIOs:     res.Stats.TotalIOs,
 		RandomIOs:    res.Stats.RandomIOs,
@@ -389,6 +407,7 @@ func runExt(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64, 
 		Workers:      cfg.WorkerCount(),
 		Storage:      cfg.Backend().Name(),
 		Codec:        cfg.CodecFamily(),
+		Shards:       1,
 		Duration:     res.Duration,
 		TotalIOs:     res.IO.TotalIOs(),
 		RandomIOs:    res.IO.RandomIOs(),
@@ -747,15 +766,23 @@ func FormatTable(ms []Measurement) string {
 
 // WriteCSV writes measurements as CSV for plotting.
 func WriteCSV(w io.Writer, ms []Measurement) error {
-	if _, err := fmt.Fprintln(w, "experiment,x,algorithm,workers,storage,codec,duration_ms,total_ios,random_ios,bytes_read,bytes_written,iterations,num_sccs,inf,note"); err != nil {
+	if _, err := fmt.Fprintln(w, "experiment,x,algorithm,workers,storage,codec,shards,duration_ms,total_ios,random_ios,bytes_read,bytes_written,iterations,num_sccs,inf,note"); err != nil {
 		return err
 	}
 	for _, m := range ms {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%d,%d,%d,%d,%d,%d,%d,%t,%q\n",
-			m.Experiment, m.X, m.Series, m.Workers, m.Storage, m.Codec, m.Duration.Milliseconds(), m.TotalIOs, m.RandomIOs,
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%t,%q\n",
+			m.Experiment, m.X, m.Series, m.Workers, m.Storage, m.Codec, m.shardCount(), m.Duration.Milliseconds(), m.TotalIOs, m.RandomIOs,
 			m.BytesRead, m.BytesWritten, m.Iterations, m.NumSCCs, m.INF, m.Note); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// shardCount normalises the measurement's shard count (0 means unsharded).
+func (m Measurement) shardCount() int {
+	if m.Shards < 1 {
+		return 1
+	}
+	return m.Shards
 }

@@ -1,0 +1,226 @@
+// Sharded contraction: the pre-pass behind the engine's WithShards /
+// WithShardedStorage options.  The input graph is partitioned by source-node
+// range (edgefile.SplitByNodeRange), each shard's internal subgraph is
+// solved by a full Ext-SCC run — every SCC of a subgraph is contained in an
+// SCC of the whole graph, so collapsing shard-local components is always
+// sound — and the shard solves run concurrently, one goroutine per shard.
+// The per-shard labellings concatenate into a node→representative mapping
+// that condenses the original graph; the (much smaller) condensed remainder
+// is then finished by whichever algorithm the engine is configured with,
+// and the two labellings compose into the final one.
+//
+// The pre-pass preserves the SCC partition exactly, but not the identity of
+// each component's representative: which member id names a component
+// depends on contraction history, so a sharded run may pick different (still
+// member-id) labels than the unsharded run.  Equivalence gates therefore
+// compare partitions, not raw label bytes.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"extscc/internal/blockio"
+	"extscc/internal/edgefile"
+	"extscc/internal/iomodel"
+	"extscc/internal/record"
+)
+
+// ShardStats summarises one shard's solve.
+type ShardStats struct {
+	// Index is the shard number in node-range order.
+	Index int
+	// NumNodes and NumEdges describe the shard's internal subgraph.
+	NumNodes int64
+	NumEdges int64
+	// NumSCCs is the number of shard-local components the solve found.
+	NumSCCs int64
+	// Iterations is the number of contraction iterations the solve ran.
+	Iterations int
+}
+
+// ShardResult is the output of ContractShards.
+type ShardResult struct {
+	// Condensed is the graph left after collapsing every shard-local SCC:
+	// its nodes are the representatives, its edges the de-duplicated,
+	// self-loop-free images of the original edges.
+	Condensed edgefile.Graph
+	// MappingPath maps every original node to its representative (label
+	// records sorted by node id; representatives map to themselves).
+	MappingPath string
+	// NumCrossEdges is the number of original edges whose endpoints fell in
+	// two different shards.
+	NumCrossEdges int64
+	// Shards holds per-shard statistics, in shard order.
+	Shards []ShardStats
+}
+
+// Remove deletes the result's files from cfg's storage backend.
+func (r *ShardResult) Remove(cfg iomodel.Config) error {
+	if err := r.Condensed.Remove(cfg); err != nil {
+		return err
+	}
+	return blockio.Remove(r.MappingPath, cfg)
+}
+
+// ContractShards partitions g into shards contiguous source-node ranges,
+// solves every shard's internal subgraph concurrently with Ext-SCC under
+// opts, and condenses g by the union of the shard-local components.  All
+// intermediate files live beneath dir.  Cancelling ctx stops the in-flight
+// shard solves within one contraction step each.
+//
+// Memory: up to shards solves are in flight at once, each budgeted with the
+// full cfg.Memory, so the transient footprint is shards × M (the same
+// trade WithWorkers documents for its merge groups).
+func ContractShards(ctx context.Context, g edgefile.Graph, dir string, shards int, opts Options, cfg iomodel.Config) (*ShardResult, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if shards < 2 || int64(shards) > g.NumNodes {
+		return nil, fmt.Errorf("core: ContractShards shards=%d outside [2, |V|=%d]", shards, g.NumNodes)
+	}
+	split, err := edgefile.SplitByNodeRange(ctx, g, dir, shards, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if !opts.KeepTemp {
+			split.Remove(cfg)
+		}
+	}()
+
+	// Solve every shard concurrently.  Progress callbacks are engine-facing
+	// and single-goroutine by contract, so shard solves run silent.
+	shardOpts := opts
+	shardOpts.OnIteration = nil
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*Result, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := ExtSCC(runCtx, split.Shards[i], dir, shardOpts, cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: shard %d/%d solve: %w", i, shards, err)
+				cancel() // stop sibling shards; ctx.Err() of the caller wins below
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	cleanupShardRuns := func() {
+		for _, res := range results {
+			if res != nil && !opts.KeepTemp {
+				res.Cleanup()
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		cleanupShardRuns()
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			cleanupShardRuns()
+			return nil, err
+		}
+	}
+
+	out := &ShardResult{NumCrossEdges: split.NumCross, Shards: make([]ShardStats, shards)}
+	labelPaths := make([]string, shards)
+	for i, res := range results {
+		labelPaths[i] = res.LabelPath
+		out.Shards[i] = ShardStats{
+			Index:      i,
+			NumNodes:   split.Shards[i].NumNodes,
+			NumEdges:   split.Shards[i].NumEdges,
+			NumSCCs:    res.NumSCCs,
+			Iterations: len(res.Iterations),
+		}
+	}
+
+	// The shards cover disjoint ascending node ranges, so concatenating the
+	// per-shard labellings in shard order yields the node-sorted mapping.
+	out.MappingPath = blockio.TempFile(dir, "shard-mapping", cfg.Stats)
+	n, err := edgefile.ConcatLabels(out.MappingPath, cfg, labelPaths...)
+	cleanupShardRuns()
+	if err != nil {
+		return nil, err
+	}
+	if n != g.NumNodes {
+		return nil, fmt.Errorf("core: shard mapping covers %d nodes, graph has %d", n, g.NumNodes)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Condense: rewrite both endpoints of the original edge file through the
+	// mapping, drop self-loops and parallel edges, and keep exactly the
+	// representatives as the node set.
+	condensed, err := condenseByMapping(ctx, g, out.MappingPath, dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Condensed = condensed
+	return out, nil
+}
+
+// condenseByMapping builds the condensed graph of g under the mapping at
+// mappingPath (every node → its representative, sorted by node).
+func condenseByMapping(ctx context.Context, g edgefile.Graph, mappingPath, dir string, cfg iomodel.Config) (edgefile.Graph, error) {
+	temp := func(prefix string) string { return blockio.TempFile(dir, prefix, cfg.Stats) }
+	fail := func(err error) (edgefile.Graph, error) { return edgefile.Graph{}, err }
+
+	bySource := temp("condense-by-source")
+	if err := edgefile.SortEdgesContext(ctx, g.EdgePath, bySource, record.EdgeBySource, cfg); err != nil {
+		return fail(err)
+	}
+	relabeledU := temp("condense-relabeled-u")
+	err := edgefile.RelabelEdges(bySource, mappingPath, relabeledU, false, cfg)
+	blockio.Remove(bySource, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	byTarget := temp("condense-by-target")
+	err = edgefile.SortEdgesContext(ctx, relabeledU, byTarget, record.EdgeByTarget, cfg)
+	blockio.Remove(relabeledU, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	relabeledV := temp("condense-relabeled-v")
+	err = edgefile.RelabelEdges(byTarget, mappingPath, relabeledV, true, cfg)
+	blockio.Remove(byTarget, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	sorted := temp("condense-sorted")
+	err = edgefile.SortEdgesContext(ctx, relabeledV, sorted, record.EdgeBySource, cfg)
+	blockio.Remove(relabeledV, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	edgePath := temp("condensed-edges")
+	numEdges, err := edgefile.DedupeEdges(sorted, edgePath, true, cfg)
+	blockio.Remove(sorted, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	nodePath := temp("condensed-nodes")
+	numNodes, err := edgefile.RepresentativeNodes(mappingPath, nodePath, cfg)
+	if err != nil {
+		blockio.Remove(edgePath, cfg)
+		return fail(err)
+	}
+	return edgefile.Graph{
+		EdgePath: edgePath,
+		NodePath: nodePath,
+		NumNodes: numNodes,
+		NumEdges: numEdges,
+	}, nil
+}

@@ -570,6 +570,387 @@ func MergeLabels(aPath, bPath, outPath string, cfg iomodel.Config) (int64, error
 	return w.Count(), nil
 }
 
+// Split is the result of partitioning a graph by source-node range: one
+// internal subgraph per shard (both endpoints inside the shard's range) plus
+// a single file of the cross-shard edges.
+type Split struct {
+	// Shards holds the internal subgraph of every shard, in ascending
+	// node-range order; each Graph's node file is the shard's slice of the
+	// input node file (sorted, disjoint, covering).
+	Shards []Graph
+	// CrossPath is the edge file of every edge whose endpoints fall in two
+	// different shards.
+	CrossPath string
+	// NumCross is the number of cross-shard edges.
+	NumCross int64
+}
+
+// Remove deletes every file of the split from cfg's storage backend.
+func (s *Split) Remove(cfg iomodel.Config) error {
+	for _, g := range s.Shards {
+		if err := g.Remove(cfg); err != nil {
+			return err
+		}
+	}
+	return blockio.Remove(s.CrossPath, cfg)
+}
+
+// SplitByNodeRange partitions g into k shards of contiguous node ranges with
+// near-equal node counts: the sorted node file is cut into k runs, every
+// edge with both endpoints in one run goes to that shard's internal edge
+// file, and every remaining edge goes to the shared cross file.  Two
+// sequential scans (nodes, then edges); k must be in [1, NumNodes].
+func SplitByNodeRange(ctx context.Context, g Graph, dir string, k int, cfg iomodel.Config) (*Split, error) {
+	if k < 1 || int64(k) > g.NumNodes {
+		return nil, fmt.Errorf("edgefile: SplitByNodeRange k=%d outside [1, %d]", k, g.NumNodes)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Pass 1: slice the sorted node file into k per-shard node files,
+	// recording each shard's lowest node id for the edge router.
+	split := &Split{Shards: make([]Graph, k)}
+	lows := make([]record.NodeID, 0, k)
+	perShard := (g.NumNodes + int64(k) - 1) / int64(k)
+	nodeR, err := recio.NewReader(g.NodePath, record.NodeCodec{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nodeWs := make([]*recio.Writer[record.NodeID], k)
+	closeAll := func() {
+		for _, w := range nodeWs {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}
+	for i := range split.Shards {
+		p := blockio.TempFile(dir, fmt.Sprintf("shard-%d-nodes", i), cfg.Stats)
+		w, err := recio.NewWriter(p, record.NodeCodec{}, cfg)
+		if err != nil {
+			nodeR.Close()
+			closeAll()
+			return nil, err
+		}
+		nodeWs[i] = w
+		split.Shards[i].NodePath = p
+	}
+	var seen int64
+	for {
+		n, err := nodeR.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			nodeR.Close()
+			closeAll()
+			return nil, err
+		}
+		shard := int(seen / perShard)
+		if shard >= k {
+			shard = k - 1
+		}
+		if seen == int64(shard)*perShard {
+			lows = append(lows, n)
+		}
+		if err := nodeWs[shard].Write(n); err != nil {
+			nodeR.Close()
+			closeAll()
+			return nil, err
+		}
+		seen++
+	}
+	nodeR.Close()
+	for i, w := range nodeWs {
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		split.Shards[i].NumNodes = w.Count()
+		nodeWs[i] = nil
+	}
+	if seen != g.NumNodes || len(lows) != k {
+		return nil, fmt.Errorf("edgefile: node file has %d nodes in %d ranges, metadata says %d in %d", seen, len(lows), g.NumNodes, k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// shardOf routes a node id to the range that owns it: the last range
+	// whose lowest id is <= the node.
+	shardOf := func(n record.NodeID) int {
+		lo, hi := 0, k-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if lows[mid] <= n {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo
+	}
+
+	// Pass 2: route every edge to its shard's internal file or the cross
+	// file.
+	edgeR, err := recio.NewReader(g.EdgePath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer edgeR.Close()
+	edgeWs := make([]*recio.Writer[record.Edge], k+1)
+	closeEdges := func() {
+		for _, w := range edgeWs {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		p := blockio.TempFile(dir, fmt.Sprintf("shard-%d-edges", i), cfg.Stats)
+		w, err := recio.NewWriter(p, record.EdgeCodec{}, cfg)
+		if err != nil {
+			closeEdges()
+			return nil, err
+		}
+		edgeWs[i] = w
+		split.Shards[i].EdgePath = p
+	}
+	split.CrossPath = blockio.TempFile(dir, "shard-cross-edges", cfg.Stats)
+	crossW, err := recio.NewWriter(split.CrossPath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		closeEdges()
+		return nil, err
+	}
+	edgeWs[k] = crossW
+	for {
+		e, err := edgeR.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			closeEdges()
+			return nil, err
+		}
+		w := crossW
+		if su := shardOf(e.U); su == shardOf(e.V) {
+			w = edgeWs[su]
+		}
+		if err := w.Write(e); err != nil {
+			closeEdges()
+			return nil, err
+		}
+	}
+	for i, w := range edgeWs {
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		if i < k {
+			split.Shards[i].NumEdges = w.Count()
+		} else {
+			split.NumCross = w.Count()
+		}
+		edgeWs[i] = nil
+	}
+	return split, nil
+}
+
+// RelabelEdges rewrites one endpoint of every edge according to the mapping
+// file at mappingPath ((node, representative) labels sorted by node).
+// byTarget selects which endpoint; the edge file at edgePath must be sorted
+// by that endpoint.  Endpoints absent from the mapping pass through
+// unchanged.
+func RelabelEdges(edgePath, mappingPath, outPath string, byTarget bool, cfg iomodel.Config) error {
+	eR, err := recio.NewReader(edgePath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return err
+	}
+	defer eR.Close()
+	mR, err := recio.NewReader(mappingPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		return err
+	}
+	defer mR.Close()
+	w, err := recio.NewWriter(outPath, record.EdgeCodec{}, cfg)
+	if err != nil {
+		return err
+	}
+	edges := recio.NewPeekable[record.Edge](eR.Iter())
+	maps := recio.NewPeekable[record.Label](mR.Iter())
+	for edges.Valid() {
+		e := edges.Pop()
+		key := e.U
+		if byTarget {
+			key = e.V
+		}
+		for maps.Valid() && maps.Peek().Node < key {
+			maps.Pop()
+		}
+		if maps.Valid() && maps.Peek().Node == key {
+			if byTarget {
+				e.V = maps.Peek().SCC
+			} else {
+				e.U = maps.Peek().SCC
+			}
+		}
+		if err := w.Write(e); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := firstErr(edges.Err(), maps.Err()); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ConcatLabels appends the label files at parts into a single file at
+// outPath and returns the total number of labels.  When the parts cover
+// disjoint ascending node ranges (per-shard label files in shard order), the
+// result is sorted by node.
+func ConcatLabels(outPath string, cfg iomodel.Config, parts ...string) (int64, error) {
+	w, err := recio.NewWriter(outPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range parts {
+		r, err := recio.NewReader(p, record.LabelCodec{}, cfg)
+		if err != nil {
+			w.Close()
+			return 0, err
+		}
+		for {
+			l, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				w.Close()
+				return 0, err
+			}
+			if err := w.Write(l); err != nil {
+				r.Close()
+				w.Close()
+				return 0, err
+			}
+		}
+		r.Close()
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
+// RepresentativeNodes writes to outPath the node ids that represent
+// themselves in the mapping at mappingPath (label records with Node == SCC,
+// sorted by node) — the node set of the condensed graph — and returns their
+// count.
+func RepresentativeNodes(mappingPath, outPath string, cfg iomodel.Config) (int64, error) {
+	r, err := recio.NewReader(mappingPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	w, err := recio.NewWriter(outPath, record.NodeCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		l, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			return 0, err
+		}
+		if l.Node == l.SCC {
+			if err := w.Write(l.Node); err != nil {
+				w.Close()
+				return 0, err
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
+// ComposeLabels resolves a two-level labelling: the mapping at mappingPath
+// sends every original node to a representative, and the label file at
+// labelPath assigns every representative its final SCC.  The output at
+// outPath labels every original node with its representative's final SCC,
+// sorted by node id.  Every representative the mapping uses must appear in
+// the label file; a gap is an invariant violation and fails the compose.
+func ComposeLabels(ctx context.Context, mappingPath, labelPath, outPath, dir string, cfg iomodel.Config) (int64, error) {
+	// Sort the mapping by representative so the resolve is a merge join.
+	byRep := blockio.TempFile(dir, "compose-by-rep", cfg.Stats)
+	repSorter := extsort.NewContext[record.Label](ctx, record.LabelCodec{}, func(a, b record.Label) bool {
+		if a.SCC != b.SCC {
+			return a.SCC < b.SCC
+		}
+		return a.Node < b.Node
+	}, cfg)
+	if err := repSorter.SortFile(mappingPath, byRep); err != nil {
+		return 0, err
+	}
+	defer blockio.Remove(byRep, cfg)
+
+	composed := blockio.TempFile(dir, "compose-raw", cfg.Stats)
+	mR, err := recio.NewReader(byRep, record.LabelCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer mR.Close()
+	lR, err := recio.NewReader(labelPath, record.LabelCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer lR.Close()
+	w, err := recio.NewWriter(composed, record.LabelCodec{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	maps := recio.NewPeekable[record.Label](mR.Iter())
+	finals := recio.NewPeekable[record.Label](lR.Iter())
+	for maps.Valid() {
+		m := maps.Pop()
+		for finals.Valid() && finals.Peek().Node < m.SCC {
+			finals.Pop()
+		}
+		if !finals.Valid() || finals.Peek().Node != m.SCC {
+			w.Close()
+			blockio.Remove(composed, cfg)
+			return 0, fmt.Errorf("edgefile: ComposeLabels: representative %d of node %d has no final label", m.SCC, m.Node)
+		}
+		if err := w.Write(record.Label{Node: m.Node, SCC: finals.Peek().SCC}); err != nil {
+			w.Close()
+			blockio.Remove(composed, cfg)
+			return 0, err
+		}
+	}
+	if err := firstErr(maps.Err(), finals.Err()); err != nil {
+		w.Close()
+		blockio.Remove(composed, cfg)
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		blockio.Remove(composed, cfg)
+		return 0, err
+	}
+	defer blockio.Remove(composed, cfg)
+
+	nodeSorter := extsort.NewContext[record.Label](ctx, record.LabelCodec{}, record.LabelByNode, cfg)
+	if err := nodeSorter.SortFile(composed, outPath); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
 func firstErr(errs ...error) error {
 	for _, err := range errs {
 		if err != nil {

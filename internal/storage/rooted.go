@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// osRooted is an OS backend whose whole namespace lives beneath one root
+// directory: the caller's paths are opaque virtual keys (exactly like the
+// in-memory backend's), mapped onto root-relative files.  It exists for
+// sharding — "shard=os:/vol1,os:/vol2" places each child's files on its own
+// volume — and is only reachable through the os:DIR storage spec.
+type osRooted struct {
+	root string
+}
+
+// OSAt returns an OS backend rooted at dir: every path a caller passes is
+// re-based beneath dir, with parent directories created on demand, and paths
+// reported back (List, MkdirTemp) are in the caller's virtual form.
+func OSAt(dir string) Backend {
+	return &osRooted{root: filepath.Clean(dir)}
+}
+
+// Name implements Backend; the rooted variant is still the OS family.
+func (r *osRooted) Name() string { return "os" }
+
+// Root returns the real directory the backend is rooted at.
+func (r *osRooted) Root() string { return r.root }
+
+// real maps a virtual path onto the backing filesystem.  The virtual form is
+// treated as absolute-from-root, so "/tmp/run-1/x" and "tmp/run-1/x" name
+// the same file and no caller path can escape the root.
+func (r *osRooted) real(p string) string {
+	rel := strings.TrimPrefix(path.Clean("/"+filepath.ToSlash(p)), "/")
+	return filepath.Join(r.root, filepath.FromSlash(rel))
+}
+
+// virtual maps a real path under the root back to the caller's form.
+func (r *osRooted) virtual(rp string) string {
+	rel, err := filepath.Rel(r.root, rp)
+	if err != nil {
+		return filepath.ToSlash(rp)
+	}
+	return "/" + filepath.ToSlash(rel)
+}
+
+// EnsureDir implements the dirMaker hook.
+func (r *osRooted) EnsureDir(p string) error { return os.MkdirAll(r.real(p), 0o755) }
+
+// Create implements Backend, materialising missing parents first: virtual
+// directories are fabricated by MkdirTemp (possibly on another sharded
+// child), so the rooted filesystem learns about them lazily.
+func (r *osRooted) Create(p string) (File, error) {
+	rp := r.real(p)
+	if err := os.MkdirAll(filepath.Dir(rp), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(rp)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f: f}, nil
+}
+
+// Open implements Backend.
+func (r *osRooted) Open(p string) (File, error) {
+	f, err := os.Open(r.real(p))
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f: f}, nil
+}
+
+// Remove implements Backend.
+func (r *osRooted) Remove(p string) error { return os.Remove(r.real(p)) }
+
+// Rename implements Backend.
+func (r *osRooted) Rename(oldPath, newPath string) error {
+	rp := r.real(newPath)
+	if err := os.MkdirAll(filepath.Dir(rp), 0o755); err != nil {
+		return err
+	}
+	return os.Rename(r.real(oldPath), rp)
+}
+
+// MkdirTemp implements Backend, returning the virtual path of the created
+// directory.
+func (r *osRooted) MkdirTemp(parent, pattern string) (string, error) {
+	if parent == "" {
+		parent = r.TempPath()
+	}
+	rp := r.real(parent)
+	if err := os.MkdirAll(rp, 0o755); err != nil {
+		return "", err
+	}
+	d, err := os.MkdirTemp(rp, pattern)
+	if err != nil {
+		return "", err
+	}
+	return r.virtual(d), nil
+}
+
+// RemoveAll implements Backend.
+func (r *osRooted) RemoveAll(p string) error { return os.RemoveAll(r.real(p)) }
+
+// List implements Backend, reporting virtual paths.
+func (r *osRooted) List(dir string) ([]string, error) {
+	real, err := OS().List(r.real(dir))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(real))
+	for _, rp := range real {
+		out = append(out, r.virtual(rp))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// TempPath implements Backend: a fixed virtual temp prefix (the real
+// location is root/tmp).
+func (r *osRooted) TempPath() string { return "/tmp" }

@@ -1,0 +1,222 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// dirMaker is implemented by backends whose files live under real
+// directories that must exist before Create can succeed (the OS backends).
+// ShardedBackend uses it to materialise a fabricated directory on every
+// child that needs one; backends with purely virtual paths (mem) simply
+// don't implement it.
+type dirMaker interface {
+	// EnsureDir creates the directory at path, and any missing parents, if
+	// the backend stores files under real directories.
+	EnsureDir(path string) error
+}
+
+// ShardedBackend spreads a single flat file namespace across N child
+// backends: every path is owned by exactly one child, chosen by a
+// deterministic hash of the cleaned path, so Create/Open/Remove always agree
+// on the owner without any shared state.  Directory-level operations
+// (RemoveAll, List) fan out to every child and merge the results.
+//
+// Because the I/O accounting lives in package blockio above the storage
+// layer, a run against a ShardedBackend charges exactly the block I/Os of
+// the same run against any other backend — sharding changes where bytes
+// live (and how many volumes absorb them), never what the run costs in the
+// paper's model.
+//
+// Rename is routed by both paths: when old and new hash to the same child it
+// is the child's metadata-only rename; when they differ the move degrades to
+// an unaccounted copy-and-delete across children.  The repository renames
+// only final outputs (extsort results, label export), so cross-child moves
+// are rare and never part of an accounted scan.
+type ShardedBackend struct {
+	children []Backend
+	// tempNonce makes fabricated MkdirTemp names unique across backend
+	// instances and processes (OS children may share a real filesystem).
+	tempNonce string
+	tempSeq   atomic.Int64
+}
+
+// NewSharded builds a sharded backend over the given children, which must
+// not be empty.  Children may be heterogeneous (OS directories and memory
+// stores can shard one namespace together); use OSAt to root OS children at
+// distinct directories or volumes.
+func NewSharded(children ...Backend) *ShardedBackend {
+	if len(children) == 0 {
+		panic("storage: NewSharded needs at least one child backend")
+	}
+	for i, c := range children {
+		if c == nil {
+			panic(fmt.Sprintf("storage: NewSharded child %d is nil", i))
+		}
+	}
+	return &ShardedBackend{
+		children:  append([]Backend(nil), children...),
+		tempNonce: fmt.Sprintf("%d-%x", os.Getpid(), time.Now().UnixNano()&0xffffff),
+	}
+}
+
+// Name implements Backend.
+func (s *ShardedBackend) Name() string { return "shard" }
+
+// NumChildren returns the number of child backends.
+func (s *ShardedBackend) NumChildren() int { return len(s.children) }
+
+// Children returns the child backends, in shard order.
+func (s *ShardedBackend) Children() []Backend {
+	return append([]Backend(nil), s.children...)
+}
+
+// child returns the owning child of path: FNV-1a over the canonical
+// slash-cleaned key, so equivalent spellings of one path route identically.
+func (s *ShardedBackend) child(p string) Backend {
+	h := fnv.New64a()
+	h.Write([]byte(memKey(p)))
+	return s.children[h.Sum64()%uint64(len(s.children))]
+}
+
+// ensureParent materialises the parent directory of p on child backends
+// that store files under real directories.
+func ensureParent(child Backend, p string) error {
+	dm, ok := child.(dirMaker)
+	if !ok {
+		return nil
+	}
+	dir := path.Dir(memKey(p))
+	if dir == "." || dir == "/" {
+		return nil
+	}
+	return dm.EnsureDir(dir)
+}
+
+// EnsureDir implements dirMaker by fanning out to every child, so sharded
+// backends nest under other sharded backends.
+func (s *ShardedBackend) EnsureDir(p string) error {
+	for _, c := range s.children {
+		if dm, ok := c.(dirMaker); ok {
+			if err := dm.EnsureDir(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Create implements Backend.
+func (s *ShardedBackend) Create(p string) (File, error) {
+	c := s.child(p)
+	if err := ensureParent(c, p); err != nil {
+		return nil, err
+	}
+	return c.Create(p)
+}
+
+// Open implements Backend.
+func (s *ShardedBackend) Open(p string) (File, error) { return s.child(p).Open(p) }
+
+// Remove implements Backend.
+func (s *ShardedBackend) Remove(p string) error { return s.child(p).Remove(p) }
+
+// Rename implements Backend.  Same-child renames stay metadata-only;
+// cross-child renames copy the bytes to the new owner and remove the old
+// file (unaccounted, like every storage-boundary crossing).
+func (s *ShardedBackend) Rename(oldPath, newPath string) error {
+	co, cn := s.child(oldPath), s.child(newPath)
+	if co == cn {
+		if err := ensureParent(co, newPath); err != nil {
+			return err
+		}
+		return co.Rename(oldPath, newPath)
+	}
+	if err := ensureParent(cn, newPath); err != nil {
+		return err
+	}
+	if err := Copy(cn, newPath, co, oldPath); err != nil {
+		return err
+	}
+	return co.Remove(oldPath)
+}
+
+// MkdirTemp implements Backend: like the in-memory backend it fabricates a
+// unique directory name (directories exist only as key prefixes of the
+// sharded namespace), then materialises the directory on every child that
+// stores files under real directories, so routed Creates beneath it succeed
+// on any child.
+func (s *ShardedBackend) MkdirTemp(parent, pattern string) (string, error) {
+	if parent == "" {
+		parent = s.TempPath()
+	}
+	name := fmt.Sprintf("%s%s-%d", strings.TrimSuffix(pattern, "*"), s.tempNonce, s.tempSeq.Add(1))
+	dir := path.Join(filepath.ToSlash(parent), name)
+	if err := s.EnsureDir(dir); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// RemoveAll implements Backend by fanning out to every child; a path missing
+// on a child is not an error, so the merged semantics match the contract.
+func (s *ShardedBackend) RemoveAll(p string) error {
+	var errs []error
+	for _, c := range s.children {
+		if err := c.RemoveAll(p); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// List implements Backend: the union of every child's listing, sorted and
+// de-duplicated (children sharing a real filesystem would otherwise report
+// the same file once per child).
+func (s *ShardedBackend) List(dir string) ([]string, error) {
+	seen := map[string]struct{}{}
+	out := []string{}
+	for _, c := range s.children {
+		paths, err := c.List(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range paths {
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// TempPath implements Backend: the first child's temp directory names the
+// shared prefix every fabricated run directory lives under (the other
+// children treat it as an opaque key, or materialise it via EnsureDir).
+func (s *ShardedBackend) TempPath() string { return s.children[0].TempPath() }
+
+// FileCounts reports how many files currently live on each child beneath
+// dir, in shard order; tests use it to assert that routing actually spreads
+// a run's files across the children.
+func (s *ShardedBackend) FileCounts(dir string) ([]int, error) {
+	counts := make([]int, len(s.children))
+	for i, c := range s.children {
+		paths, err := c.List(dir)
+		if err != nil {
+			return nil, err
+		}
+		counts[i] = len(paths)
+	}
+	return counts, nil
+}

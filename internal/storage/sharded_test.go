@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestShardedRouting pins the routing invariants: every file lives on
+// exactly one child, equivalent spellings of a path route identically, and
+// enough files spread across every child.
+func TestShardedRouting(t *testing.T) {
+	children := []*MemBackend{NewMem(), NewMem(), NewMem()}
+	s := NewSharded(children[0], children[1], children[2])
+	dir, err := s.MkdirTemp("", "route-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("%s/file-%03d.bin", dir, i)
+		f, err := s.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		owners := 0
+		for _, c := range children {
+			if _, err := c.Open(p); err == nil {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("file %q lives on %d children, want exactly 1", p, owners)
+		}
+		// A cleanable respelling of the same path must route to the owner.
+		if _, err := s.Open(dir + "/./" + fmt.Sprintf("file-%03d.bin", i)); err != nil {
+			t.Fatalf("Open(respelled path): %v", err)
+		}
+	}
+	counts, err := s.FileCounts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("child %d received no files out of %d", i, n)
+		}
+		total += c
+	}
+	if total != n {
+		t.Fatalf("children hold %d files in total, want %d", total, n)
+	}
+	if got, err := s.List(dir); err != nil || len(got) != n {
+		t.Fatalf("List = %d files, %v; want %d", len(got), err, n)
+	}
+	if err := s.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range children {
+		if c.Len() != 0 {
+			t.Fatalf("child %d still holds %v after RemoveAll", i, c.Paths())
+		}
+	}
+}
+
+// TestShardedCrossChildRename finds two paths owned by different children
+// and checks the rename moves the bytes to the new owner.
+func TestShardedCrossChildRename(t *testing.T) {
+	a, b := NewMem(), NewMem()
+	s := NewSharded(a, b)
+	dir, err := s.MkdirTemp("", "xrename-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan for a pair of paths with different owners.
+	var oldPath, newPath string
+	for i := 0; i < 256 && newPath == ""; i++ {
+		p := fmt.Sprintf("%s/cand-%d.bin", dir, i)
+		if oldPath == "" {
+			oldPath = p
+			continue
+		}
+		if s.child(p) != s.child(oldPath) {
+			newPath = p
+		}
+	}
+	if newPath == "" {
+		t.Fatal("no cross-child path pair found in 256 candidates")
+	}
+	f, err := s.Create(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rename(oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open(oldPath); !IsNotExist(err) {
+		t.Fatalf("Open(old) after rename = %v, want not-exist", err)
+	}
+	data, err := ReadFile(s, newPath)
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("ReadFile(new) = %q, %v", data, err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	t.Run("os", func(t *testing.T) {
+		b, err := Parse("os")
+		if err != nil || b.Name() != "os" {
+			t.Fatalf("Parse(os) = %v, %v", b, err)
+		}
+	})
+	t.Run("mem is the shared store", func(t *testing.T) {
+		b, err := Parse("mem")
+		if err != nil {
+			t.Fatal(err)
+		}
+		alias, err := Parse("memory")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != Backend(SharedMem()) || alias != Backend(SharedMem()) {
+			t.Fatal("mem/memory should resolve to the process-shared store")
+		}
+	})
+	t.Run("shard children", func(t *testing.T) {
+		b, err := Parse("shard=mem, os, os:" + t.TempDir() + ",mem")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ok := b.(*ShardedBackend)
+		if !ok {
+			t.Fatalf("Parse(shard=...) = %T, want *ShardedBackend", b)
+		}
+		if s.NumChildren() != 4 {
+			t.Fatalf("NumChildren = %d, want 4", s.NumChildren())
+		}
+		kids := s.Children()
+		if kids[0] == Backend(SharedMem()) || kids[3] == Backend(SharedMem()) {
+			t.Fatal("shard children must be fresh mem stores, not the shared one")
+		}
+		if kids[0] == kids[3] {
+			t.Fatal("each mem occurrence must be its own store")
+		}
+	})
+	t.Run("errors keep the backend nil", func(t *testing.T) {
+		for _, spec := range []string{
+			"bogus", "shard=", "shard=mem,,mem", "shard=os:", "shard=tape", "os:/lone",
+		} {
+			b, err := Parse(spec)
+			if err == nil || b != nil {
+				t.Errorf("Parse(%q) = %v, %v; want nil backend and an error", spec, b, err)
+			}
+			if err != nil && !strings.Contains(err.Error(), "storage:") {
+				t.Errorf("Parse(%q) error %q not from storage", spec, err)
+			}
+		}
+	})
+}
+
+// TestShardedOSChildrenShareNamespace pins the degenerate-but-legal case of
+// two plain OS children: both see the same filesystem, so routing still
+// works and List de-duplicates.
+func TestShardedOSChildrenShareNamespace(t *testing.T) {
+	s := NewSharded(OS(), OS())
+	dir, err := s.MkdirTemp(t.TempDir(), "dupe-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		p := fmt.Sprintf("%s/f%d", dir, i)
+		f, err := s.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("List = %d entries, want 8 (deduplicated)", len(got))
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"strings"
 	"sync"
 )
 
@@ -112,7 +113,7 @@ var defaultOnce = sync.OnceValues(func() (Backend, error) {
 	if name == "" {
 		return withEnvFault(OS())
 	}
-	return byExplicitName(name)
+	return Parse(name)
 })
 
 // Default returns the process-wide default backend: the OS backend, unless
@@ -132,20 +133,49 @@ func Default() Backend {
 	return b
 }
 
-// ByName resolves a backend by flag value: "os" is the OS backend, "mem"
-// the process-shared in-memory backend, and "" the process default — the
-// OS backend unless the EXTSCC_STORAGE environment variable says otherwise,
-// so a CLI that passes its unset -storage flag straight through still
-// honours the variable.
+// ByName resolves a backend by flag value: a storage spec (see Parse) or ""
+// for the process default — the OS backend unless the EXTSCC_STORAGE
+// environment variable says otherwise, so a CLI that passes its unset
+// -storage flag straight through still honours the variable.
 func ByName(name string) (Backend, error) {
 	if name == "" {
 		return defaultOnce()
 	}
-	return byExplicitName(name)
+	return Parse(name)
 }
 
-func byExplicitName(name string) (Backend, error) {
-	switch name {
+// Parse resolves a storage spec.  One grammar serves every entry point —
+// the EXTSCC_STORAGE environment variable and the -storage flag of all
+// CLIs:
+//
+//	os                    the local filesystem (the default)
+//	mem                   the process-shared in-memory store
+//	shard=child,child,..  one namespace sharded across the listed children,
+//	                      where each child is "os" (the local filesystem),
+//	                      "os:DIR" (an OS store rooted at DIR — e.g. one
+//	                      directory per volume), or "mem" (a fresh private
+//	                      in-memory store per occurrence)
+//
+// "memory" is accepted as an alias for "mem".  Inside shard=, "mem" means a
+// fresh store per occurrence (not the process-shared one): sharding the
+// same store N times would collapse back into one namespace.  When the
+// EXTSCC_FAULT variable is set, the resolved backend is wrapped in its
+// fault plan at the top level, so injected faults see the routed operations
+// exactly once.
+func Parse(spec string) (Backend, error) {
+	if rest, ok := strings.CutPrefix(spec, "shard="); ok {
+		parts := strings.Split(rest, ",")
+		children := make([]Backend, 0, len(parts))
+		for _, part := range parts {
+			child, err := parseChild(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("storage: invalid spec %q: %w", spec, err)
+			}
+			children = append(children, child)
+		}
+		return withEnvFault(NewSharded(children...))
+	}
+	switch spec {
 	case "os":
 		return withEnvFault(OS())
 	case "mem", "memory":
@@ -154,7 +184,27 @@ func byExplicitName(name string) (Backend, error) {
 		// The backend must be nil on error: returning a usable fallback next
 		// to the error let callers that dropped the error silently run the
 		// wrong backend (and report its name as green).
-		return nil, errors.New("storage: unknown backend " + name + " (known: os, mem)")
+		return nil, errors.New("storage: unknown backend " + spec + " (known: os, mem, shard=child,child,...)")
+	}
+}
+
+// parseChild resolves one child of a shard= spec.
+func parseChild(spec string) (Backend, error) {
+	if dir, ok := strings.CutPrefix(spec, "os:"); ok {
+		if dir == "" {
+			return nil, errors.New(`child "os:" has an empty directory`)
+		}
+		return OSAt(dir), nil
+	}
+	switch spec {
+	case "os":
+		return OS(), nil
+	case "mem", "memory":
+		return NewMem(), nil
+	case "":
+		return nil, errors.New("empty shard child")
+	default:
+		return nil, fmt.Errorf("unknown shard child %q (known: os, os:DIR, mem)", spec)
 	}
 }
 

@@ -14,6 +14,10 @@ func backends(t *testing.T) map[string]Backend {
 	return map[string]Backend{
 		"os":  OS(),
 		"mem": NewMem(),
+		// A heterogeneous sharded namespace: one rooted-OS child and two
+		// fresh memory children, so the contract cases exercise routing,
+		// fan-out and the lazily materialised directories together.
+		"shard": NewSharded(OSAt(t.TempDir()), NewMem(), NewMem()),
 	}
 }
 
