@@ -18,11 +18,14 @@ test:
 
 # Mirrors the `race` job: the WithWorkers pools, the in-memory storage
 # backend, and the sharded multi-volume backend under the race detector,
-# once per storage spec.
+# once per storage spec, plus a leg with the compress codec as the process
+# default (EXTSCC_CODEC) so the LZ encode/decode paths run under the
+# detector too.
 race:
 	EXTSCC_STORAGE=os $(GO) test -race -short ./...
 	EXTSCC_STORAGE=mem $(GO) test -race -short ./...
 	EXTSCC_STORAGE=shard=mem,mem $(GO) test -race -short ./...
+	EXTSCC_STORAGE=mem EXTSCC_CODEC=compress $(GO) test -race -short ./...
 
 # Mirrors the `lint` job.  staticcheck and govulncheck are skipped when not
 # installed so the target works offline; CI always runs them.
@@ -42,23 +45,29 @@ lint:
 		echo "govulncheck not installed; skipped (CI runs it; go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-# Mirrors the fuzz smoke of the `test` job: every codec fuzzer (fixed and
-# varint record codecs plus the garbage-decode robustness fuzzer) runs for
-# FUZZTIME.  `go test -fuzz` takes one target at a time, hence the loop.
+# Mirrors the fuzz smoke of the `test` job: every codec fuzzer (fixed,
+# varint and compress record codecs, the raw LZ round trip, the
+# garbage-decode robustness fuzzers) and every frame/footer parser fuzzer
+# runs for FUZZTIME.  `go test -fuzz` takes one target at a time, hence the
+# loop.
 fuzz:
-	@set -e; for f in $$($(GO) test ./internal/record -list 'Fuzz.*' | grep '^Fuzz'); do \
-		echo "fuzzing $$f for $(FUZZTIME)"; \
-		$(GO) test ./internal/record -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME); \
+	@set -e; for pkg in ./internal/record ./internal/blockio; do \
+		for f in $$($(GO) test $$pkg -list 'Fuzz.*' | grep '^Fuzz'); do \
+			echo "fuzzing $$pkg $$f for $(FUZZTIME)"; \
+			$(GO) test $$pkg -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME); \
+		done; \
 	done
 
 # Mirrors the `bench` job: quick fig7, workers=1 vs workers=NumCPU with
 # identical SCCs and I/O counts enforced; the shard gate (1 vs 2 vs 4
 # compute shards on per-shard in-memory volumes, identical SCC counts, the
 # per-shard-count rows and speedup recorded in BENCH_quick.{json,csv}); the
-# storage-equivalence gate (mem ≡ os); then the codec gate (varint must
-# match the fixed SCC results while cutting bytes written by >= 30% and
-# lowering block I/Os), whose two-codec sweep is also gated against the
-# committed baseline.
+# storage-equivalence gate (mem ≡ os); then the codec gate (all three
+# families — fixed, varint, compress — must agree on SCC results; varint
+# must cut pipeline bytes by >= 30% and lower block I/Os; on the shuffled
+# codecw workload, where varint stays under 10%, compress must cut bytes by
+# >= 20%), with the three-codec sweep also gated against the committed
+# baseline.
 bench:
 	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-workers -workers 0 \
 		-json BENCH_workers.json -csv BENCH_workers.csv
@@ -71,8 +80,8 @@ bench:
 
 # Refresh the committed baseline after an intentional I/O-count change;
 # commit the resulting bench/baseline.json.  The baseline is recorded under
-# -compare-codec so it holds both codec families' sweeps — the same shape the
-# gating run produces.
+# -compare-codec so it holds all three codec families' sweeps plus the
+# codecw workload rows — the same shape the gating run produces.
 bench-baseline:
 	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-codec -workers 1 \
 		-json bench/baseline.json
@@ -86,13 +95,14 @@ serve-smoke:
 	$(GO) run ./scripts/servesmoke
 
 # Mirrors the `faultsweep` job: the systematic fault-injection sweep (both
-# storage backends x both codecs, sampled fault positions), the corruption
-# smoke (every flipped payload byte of a v2 frame must surface as
+# storage backends x all three codecs, sampled fault positions), the
+# corruption smoke (every flipped payload byte of a v2 frame must surface as
 # ErrCorrupt), and end-to-end CLI runs under an EXTSCC_FAULT plan — a torn
 # write plus a transient read must be absorbed by -retry on both backends
-# (the torn flavor on the os leg pins the truncate-and-rewrite recovery
-# against real seek-offset semantics), and a corrupting plan must fail the
-# run with a typed corruption message, never a wrong answer.
+# and under both framed codecs (the torn flavor on the os leg pins the
+# truncate-and-rewrite recovery against real seek-offset semantics), and a
+# corrupting plan must fail the run with a typed corruption message, never a
+# wrong answer.
 faultsweep:
 	$(GO) test . ./internal/storage ./internal/recio ./internal/blockio \
 		-run 'Fault|Corrupt|Retry|Torn|Version1|WriteAppends' -count=1
@@ -101,7 +111,12 @@ faultsweep:
 		EXTSCC_STORAGE=os $(GO) run ./cmd/sccrun -in FAULT_graph.edges -retry 3
 	EXTSCC_FAULT='op=write,n=5,mode=torn,path=extscc-engine-;op=read,n=40,mode=transient,path=extscc-engine-' \
 		EXTSCC_STORAGE=mem $(GO) run ./cmd/sccrun -in FAULT_graph.edges -retry 3 -codec varint
+	EXTSCC_FAULT='op=write,n=5,mode=torn,path=extscc-engine-;op=read,n=40,mode=transient,path=extscc-engine-' \
+		EXTSCC_STORAGE=os $(GO) run ./cmd/sccrun -in FAULT_graph.edges -retry 3 -codec compress
 	@echo "expecting the corrupting run below to fail with a corruption error:"
 	! EXTSCC_FAULT='op=read,n=1,count=0,mode=corrupt,path=extscc-engine-' \
 		EXTSCC_STORAGE=os $(GO) run ./cmd/sccrun -in FAULT_graph.edges -retry 3 -codec varint
+	@echo "expecting the corrupting run below to fail with a corruption error:"
+	! EXTSCC_FAULT='op=read,n=1,count=0,mode=corrupt,path=extscc-engine-' \
+		EXTSCC_STORAGE=os $(GO) run ./cmd/sccrun -in FAULT_graph.edges -retry 3 -codec compress
 	rm -f FAULT_graph.edges

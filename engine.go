@@ -232,37 +232,43 @@ func WithShardedStorage(children ...Storage) Option {
 // volume per physical disk, typically).
 func ParseStorage(spec string) (Storage, error) { return storage.Parse(spec) }
 
-// CodecFixed and CodecVarint name the built-in record-codec families
-// accepted by WithCodec.
+// CodecFixed, CodecVarint and CodecCompress name the built-in record-codec
+// families accepted by WithCodec.
 const (
 	// CodecFixed is the historical fixed-size record layout, byte-identical
-	// to the files the engine wrote before codecs became pluggable.  It is
-	// the only layout that supports record-indexed seeks (Result.LabelOf
-	// without an in-memory table).
+	// to the files the engine wrote before codecs became pluggable.  Record
+	// seeks cost pure offset arithmetic; nothing compresses.
 	CodecFixed = record.FamilyFixed
 	// CodecVarint is the delta+varint block layout (the default):
 	// intermediate files are written as self-describing compressed frames,
 	// shrinking every scan, sort run and merge — and with them the
-	// accounted block I/Os.
+	// accounted block I/Os.  It wins on sorted files, where deltas between
+	// neighbouring records are small.
 	CodecVarint = record.FamilyVarint
+	// CodecCompress is the byte-oriented LZ block layout: frames compress
+	// the fixed record bytes with match/literal sequences, so repetition is
+	// exploited wherever it occurs — including unsorted files, where delta
+	// encoding wins nothing.
+	CodecCompress = record.FamilyCompress
 )
 
 // Codecs lists the registered codec family names.
 func Codecs() []string { return record.Families() }
 
 // WithCodec selects the record-codec family every intermediate file of a run
-// is written with: CodecVarint (the default) or CodecFixed.  Readers
-// auto-detect the codec of each file from its self-describing frame header,
-// so inputs written under any family are accepted regardless of this setting.
+// is written with: CodecVarint (the default), CodecFixed or CodecCompress.
+// Readers auto-detect the codec of each file from its self-describing frame
+// header, so inputs written under any family are accepted regardless of this
+// setting.
 //
 // Unlike WithStorage and WithWorkers, the codec intentionally changes the
 // accounted I/O: a compressing codec stores the same records in fewer bytes
 // and therefore fewer blocks.  It never changes the computed labelling — for
 // any workload and configuration, every codec family produces identical SCC
-// labels (the cross-codec equivalence the test suite enforces).  The dfs-scc
-// baseline is the one exception to compression: its random-access adjacency
-// structure requires the fixed layout, so it pins its own files to CodecFixed
-// and only its staged input reflects this option.
+// labels (the cross-codec equivalence the test suite enforces).  Framed files
+// end with a frame-index footer, so record seeks work under every family —
+// the random-access consumers (the dfs-scc baseline, Result.LabelOf, the
+// serving subsystem) run unchanged whatever this option says.
 func WithCodec(name string) Option {
 	return func(e *Engine) error {
 		if name != "" && !record.ValidFamily(name) {

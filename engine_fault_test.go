@@ -107,13 +107,13 @@ type sweepFlavor struct {
 // assert every run either succeeds with a labelling and I/O counters
 // identical to the fault-free run, or fails with a typed error (ErrInjected /
 // ErrCorrupt) — and in both cases leaves the backend without a single file.
-// The sweep covers both storage backends and both codec families.
+// The sweep covers every storage backend and every codec family.
 func TestEngineFaultSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fault sweep is a multi-run workload; skipped with -short")
 	}
 	for _, backendName := range []string{"mem", "os", "shard"} {
-		for _, codec := range []string{extscc.CodecFixed, extscc.CodecVarint} {
+		for _, codec := range []string{extscc.CodecFixed, extscc.CodecVarint, extscc.CodecCompress} {
 			t.Run(backendName+"/"+codec, func(t *testing.T) {
 				newBackend := func() (extscc.Storage, string) {
 					switch backendName {
@@ -148,10 +148,11 @@ func TestEngineFaultSweep(t *testing.T) {
 					{"permanent", storage.ModePermanent, 2},
 					{"torn-retry", storage.ModeTorn, 2},
 				}
-				if codec == extscc.CodecVarint {
+				if codec != extscc.CodecFixed {
 					// Bit flips are only guaranteed to be *detected* under the
-					// CRC-carrying framed layout; the fixed layout documents
-					// no integrity check, so corruption there is out of scope.
+					// CRC-carrying framed layouts (varint, compress); the
+					// fixed layout documents no integrity check, so corruption
+					// there is out of scope.
 					flavors = append(flavors, sweepFlavor{"corrupt", storage.ModeCorrupt, 2})
 				}
 				samples := 8

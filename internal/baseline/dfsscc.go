@@ -100,12 +100,11 @@ func DFSSCC(ctx context.Context, g edgefile.Graph, dir string, opts DFSOptions, 
 		return nil, err
 	}
 	// External DFS is defined by random access — adjacency lookups binary
-	// search the sorted edge file and the postorder is replayed backwards —
-	// and record seeks only exist on the fixed layout, so the run pins its
-	// own files to the fixed codec whatever the configuration says.  Input
-	// files written under another codec are still read fine (readers
-	// auto-detect), and the paper's cost profile for DFS-SCC is preserved.
-	cfg.Codec = record.FamilyFixed
+	// search the sorted edge file and the postorder is replayed backwards.
+	// Framed files carry a frame-index footer now, so record seeks work on
+	// every codec family and the run honours the configured codec like the
+	// other algorithms; the paper's cost profile is preserved because seeks
+	// are charged as random I/O either way.
 	if dir == "" {
 		dir = cfg.TempDir
 	}
@@ -369,6 +368,10 @@ func (s *dfsState) reverseOrder(inPath, outPath string) error {
 		return err
 	}
 	total := r.Count()
+	if total < 0 {
+		w.Close()
+		return errors.New("baseline: postorder file has no record index to replay backwards")
+	}
 	perBlock := int64(s.cfg.BlockSize / 4)
 	if perBlock < 1 {
 		perBlock = 1
@@ -417,7 +420,12 @@ func newAdjacency(path string, cfg iomodel.Config) (*adjacency, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &adjacency{r: r, count: r.Count()}, nil
+	count := r.Count()
+	if count < 0 {
+		r.Close()
+		return nil, errors.New("baseline: adjacency file has no record index for binary search")
+	}
+	return &adjacency{r: r, count: count}, nil
 }
 
 func (a *adjacency) close() error { return a.r.Close() }
@@ -473,16 +481,17 @@ func nextNode(r *recio.Reader[record.NodeID]) (record.NodeID, bool, error) {
 	return n, true, nil
 }
 
-// maxNodeID returns the largest node id in a sorted node file.  A fixed file
-// answers with one seek to the last record; a framed file (the node file may
-// come from an engine run with a compressing codec) is scanned sequentially.
+// maxNodeID returns the largest node id in a sorted node file.  Fixed files
+// and framed files with a frame-index footer answer with one seek to the last
+// record; a legacy footerless framed file is scanned sequentially.
 func maxNodeID(nodePath string, cfg iomodel.Config) (record.NodeID, error) {
 	r, err := recio.NewReader(nodePath, record.NodeCodec{}, cfg)
 	if err != nil {
 		return 0, err
 	}
 	defer r.Close()
-	if r.Framed() {
+	total := r.Count()
+	if total < 0 {
 		var max record.NodeID
 		for {
 			n, err := r.Read()
@@ -495,10 +504,10 @@ func maxNodeID(nodePath string, cfg iomodel.Config) (record.NodeID, error) {
 			max = n
 		}
 	}
-	if r.Count() == 0 {
+	if total == 0 {
 		return 0, nil
 	}
-	if err := r.SeekTo(r.Count() - 1); err != nil {
+	if err := r.SeekTo(total - 1); err != nil {
 		return 0, err
 	}
 	return r.Read()

@@ -1,0 +1,255 @@
+package blockio
+
+import (
+	"encoding/binary"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// footerEntries builds a plausible frame index: frames of ~100 bytes holding
+// 10 records each, with contiguous key ranges.
+func footerEntries(frames int) []FooterEntry {
+	entries := make([]FooterEntry, frames)
+	for i := range entries {
+		entries[i] = FooterEntry{
+			Offset:      int64(i) * 100,
+			FirstRecord: int64(i) * 10,
+			Count:       10,
+			MinKey:      uint64(i) * 1000,
+			MaxKey:      uint64(i)*1000 + 999,
+		}
+	}
+	return entries
+}
+
+func TestFooterRoundTrip(t *testing.T) {
+	entries := footerEntries(7)
+	buf := AppendFooter(nil, entries)
+	if len(buf) != FooterSize(len(entries)) {
+		t.Fatalf("encoded footer is %d bytes, want %d", len(buf), FooterSize(len(entries)))
+	}
+	if !HasFooterMagic(buf) {
+		t.Fatal("encoded footer does not carry the footer magic")
+	}
+	if HasFrameMagic(buf) {
+		t.Fatal("footer magic collides with the frame magic")
+	}
+	flen, ok, detail := ParseFooterTrailer(buf[len(buf)-FooterTrailerSize:])
+	if !ok || detail != "" || flen != len(buf) {
+		t.Fatalf("ParseFooterTrailer = (%d, %v, %q), want (%d, true, \"\")", flen, ok, detail, len(buf))
+	}
+	f, detail := ParseFooter(buf, 700) // frames occupy [0, 700)
+	if detail != "" {
+		t.Fatalf("ParseFooter: %s", detail)
+	}
+	if !reflect.DeepEqual(f.Entries, entries) {
+		t.Fatalf("decoded entries differ: %+v", f.Entries)
+	}
+	if f.TotalRecords != 70 {
+		t.Fatalf("TotalRecords = %d, want 70", f.TotalRecords)
+	}
+}
+
+func TestFooterFrameLookups(t *testing.T) {
+	buf := AppendFooter(nil, footerEntries(5))
+	f, detail := ParseFooter(buf, 500)
+	if detail != "" {
+		t.Fatalf("ParseFooter: %s", detail)
+	}
+	for _, tc := range []struct {
+		idx    int64
+		frame  int
+		wantOK bool
+	}{
+		{0, 0, true}, {9, 0, true}, {10, 1, true}, {49, 4, true},
+		{50, 5, false}, {-1, 5, false},
+	} {
+		if fi, ok := f.FrameForRecord(tc.idx); fi != tc.frame || ok != tc.wantOK {
+			t.Fatalf("FrameForRecord(%d) = (%d, %v), want (%d, %v)", tc.idx, fi, ok, tc.frame, tc.wantOK)
+		}
+	}
+	for _, tc := range []struct {
+		key    uint64
+		frame  int
+		wantOK bool
+	}{
+		{0, 0, true}, {999, 0, true}, {1000, 1, true}, {4999, 4, true},
+		{5000, 5, false},
+	} {
+		if fi, ok := f.FrameForKey(tc.key); fi != tc.frame || ok != tc.wantOK {
+			t.Fatalf("FrameForKey(%d) = (%d, %v), want (%d, %v)", tc.key, fi, ok, tc.frame, tc.wantOK)
+		}
+	}
+}
+
+// TestFooterRejectsEveryFlippedByte is the footer integrity gate: flipping any
+// single byte of an encoded footer must make it unusable — either rejected
+// typed (a detail string), or, when the flip lands in the end magic, demoted
+// to "no footer here" — never decoded into a different index.
+func TestFooterRejectsEveryFlippedByte(t *testing.T) {
+	entries := footerEntries(3)
+	pristine := AppendFooter(nil, entries)
+	base := int64(300)
+	want, detail := ParseFooter(pristine, base)
+	if detail != "" {
+		t.Fatalf("pristine footer rejected: %s", detail)
+	}
+	for off := range pristine {
+		buf := append([]byte(nil), pristine...)
+		buf[off] ^= 1 << (off % 8)
+		flen, ok, tdetail := ParseFooterTrailer(buf[len(buf)-FooterTrailerSize:])
+		if !ok {
+			if off < len(pristine)-8 {
+				t.Fatalf("flipping byte %d outside the trailer made the trailer vanish", off)
+			}
+			continue // end magic or length flip: footerless or typed, both safe
+		}
+		if tdetail != "" || flen != len(buf) {
+			continue // trailer rejected typed, or points elsewhere: not decoded
+		}
+		got, pdetail := ParseFooter(buf, base)
+		if pdetail == "" && !reflect.DeepEqual(got, want) {
+			t.Fatalf("flipping byte %d decoded a different footer silently", off)
+		}
+		if pdetail == "" && off < len(pristine) {
+			t.Fatalf("flipping byte %d went entirely undetected", off)
+		}
+	}
+}
+
+func TestFooterTrailerDetection(t *testing.T) {
+	// Too-short input, absent magic: footerless, never an error.
+	if _, ok, detail := ParseFooterTrailer(nil); ok || detail != "" {
+		t.Fatalf("nil tail: (%v, %q), want footerless", ok, detail)
+	}
+	plain := make([]byte, FooterTrailerSize)
+	if _, ok, detail := ParseFooterTrailer(plain); ok || detail != "" {
+		t.Fatalf("plain bytes: (%v, %q), want footerless", ok, detail)
+	}
+	// End magic present but length below any footer: typed corruption.
+	bad := make([]byte, FooterTrailerSize)
+	copy(bad[FooterTrailerSize-4:], footerEndMagic[:])
+	binary.LittleEndian.PutUint32(bad[FooterTrailerSize-8:FooterTrailerSize-4], 10)
+	if _, _, detail := ParseFooterTrailer(bad); !strings.Contains(detail, "length") {
+		t.Fatalf("undersized footer length: %q, want a length detail", detail)
+	}
+	// Length not on an entry boundary: typed corruption.
+	binary.LittleEndian.PutUint32(bad[FooterTrailerSize-8:FooterTrailerSize-4], uint32(FooterSize(1)+1))
+	if _, _, detail := ParseFooterTrailer(bad); !strings.Contains(detail, "length") {
+		t.Fatalf("off-boundary footer length: %q, want a length detail", detail)
+	}
+}
+
+func TestParseFooterRejects(t *testing.T) {
+	entries := footerEntries(2)
+	base := int64(200)
+	good := AppendFooter(nil, entries)
+
+	if _, detail := ParseFooter(good[:10], base); detail == "" {
+		t.Fatal("truncated footer parsed without detail")
+	}
+
+	future := append([]byte(nil), good...)
+	future[4] = FooterVersion + 1
+	if _, detail := ParseFooter(future, base); !strings.Contains(detail, "version") {
+		t.Fatalf("future version: %q, want a version detail", detail)
+	}
+
+	// A frame offset at or past the footer base would mean the footer indexes
+	// itself — reject even with a valid CRC (recompute it after patching).
+	overlap := AppendFooter(nil, footerEntries(2))
+	if _, detail := ParseFooter(overlap, 50); !strings.Contains(detail, "offset") {
+		t.Fatalf("frame past footer base: %q, want an offset detail", detail)
+	}
+
+	// Entries whose FirstRecord chain breaks are rejected.
+	broken := footerEntries(2)
+	broken[1].FirstRecord = 99
+	if _, detail := ParseFooter(AppendFooter(nil, broken), base); !strings.Contains(detail, "chain") {
+		t.Fatalf("broken record chain: %q, want a chain detail", detail)
+	}
+
+	// Min above max key.
+	inverted := footerEntries(2)
+	inverted[1].MinKey, inverted[1].MaxKey = inverted[1].MaxKey, inverted[1].MinKey
+	if _, detail := ParseFooter(AppendFooter(nil, inverted), base); !strings.Contains(detail, "key") {
+		t.Fatalf("inverted key range: %q, want a key detail", detail)
+	}
+}
+
+// TestReadFooterEndToEnd exercises the two-probe read path against a real
+// file: frames, footer, and the three outcomes (valid, footerless, corrupt).
+func TestReadFooterEndToEnd(t *testing.T) {
+	cfg := testConfig(t, 64)
+	dir := t.TempDir()
+
+	frames := make([]byte, 300) // stand-in frame bytes; ReadFooter never reads them
+	entries := []FooterEntry{
+		{Offset: 0, FirstRecord: 0, Count: 20, MinKey: 5, MaxKey: 40},
+		{Offset: 150, FirstRecord: 20, Count: 12, MinKey: 41, MaxKey: 90},
+	}
+	valid := append(append([]byte(nil), frames...), AppendFooter(nil, entries)...)
+
+	path := filepath.Join(dir, "valid.bin")
+	writeRaw(t, cfg, path, valid)
+	r, err := NewReader(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok, err := ReadFooter(r)
+	r.Close()
+	if err != nil || !ok {
+		t.Fatalf("ReadFooter on a valid file = (%v, %v)", ok, err)
+	}
+	if !reflect.DeepEqual(f.Entries, entries) || f.TotalRecords != 32 {
+		t.Fatalf("decoded footer differs: %+v total %d", f.Entries, f.TotalRecords)
+	}
+
+	// Footerless: plain bytes, no magic. Not an error.
+	bare := filepath.Join(dir, "bare.bin")
+	writeRaw(t, cfg, bare, frames)
+	r, err = NewReader(bare, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err = ReadFooter(r)
+	r.Close()
+	if err != nil || ok {
+		t.Fatalf("ReadFooter on a footerless file = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	// Tiny file, shorter than a trailer: footerless too.
+	tiny := filepath.Join(dir, "tiny.bin")
+	writeRaw(t, cfg, tiny, []byte{1, 2, 3})
+	r, err = NewReader(tiny, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err = ReadFooter(r)
+	r.Close()
+	if err != nil || ok {
+		t.Fatalf("ReadFooter on a tiny file = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	// Corrupt: flip one CRC-covered footer byte. Typed ErrCorrupt naming the file.
+	damaged := append([]byte(nil), valid...)
+	damaged[len(frames)+7] ^= 0x40
+	bad := filepath.Join(dir, "bad.bin")
+	writeRaw(t, cfg, bad, damaged)
+	r, err = NewReader(bad, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReadFooter(r)
+	r.Close()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadFooter on a damaged footer: %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Path, "bad.bin") {
+		t.Fatalf("corrupt footer error does not name the file: %v", err)
+	}
+}

@@ -14,6 +14,8 @@ package iomodel
 import (
 	"fmt"
 	"math"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -153,15 +155,36 @@ func (c Config) Backend() storage.Backend {
 	return storage.Default()
 }
 
+// codecEnvVar selects the process-wide default codec family; see CodecFamily.
+const codecEnvVar = "EXTSCC_CODEC"
+
+// defaultCodecOnce resolves EXTSCC_CODEC once.  Like EXTSCC_STORAGE, an
+// unknown value panics on first use: the variable is an explicit operator
+// instruction (the CI codec matrix sets it), and falling back silently would
+// let a mistyped matrix entry re-run the default suite while reporting the
+// compress leg green.
+var defaultCodecOnce = sync.OnceValue(func() string {
+	name := os.Getenv(codecEnvVar)
+	if name == "" {
+		return record.FamilyVarint
+	}
+	if !record.ValidFamily(name) {
+		panic(fmt.Sprintf("invalid %s environment: unknown codec family %q (known: %v)", codecEnvVar, name, record.Families()))
+	}
+	return name
+})
+
 // CodecFamily returns the effective record-codec family of the configuration.
-// An empty Codec field selects record.FamilyVarint: compressed intermediates
-// cut bytes and block I/Os on every workload measured, so the compressing
-// codec is the default and the fixed layout is opt-in (WithCodec("fixed"))
-// for consumers that need record-indexed seeks, e.g. the serving subsystem's
-// batched point lookups over larger-than-RAM labellings.
+// An empty Codec field selects the process default: record.FamilyVarint —
+// compressed intermediates cut bytes and block I/Os on every workload
+// measured, so a compressing codec is the default — unless the EXTSCC_CODEC
+// environment variable selects another family for the whole process (how CI
+// runs the suite once per codec).  All families support record seeks now
+// (framed files carry a frame-index footer), so the fixed layout is opt-in
+// (WithCodec("fixed")) only for byte-compatibility with pre-codec files.
 func (c Config) CodecFamily() string {
 	if c.Codec == "" {
-		return record.FamilyVarint
+		return defaultCodecOnce()
 	}
 	return c.Codec
 }

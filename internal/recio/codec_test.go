@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"extscc/internal/blockio"
 	"extscc/internal/iomodel"
 	"extscc/internal/record"
 )
@@ -69,8 +70,8 @@ func TestFramedRoundTrip(t *testing.T) {
 	if !r.Framed() {
 		t.Fatal("framed file not detected")
 	}
-	if r.Count() != -1 {
-		t.Fatalf("framed Count = %d, want -1", r.Count())
+	if r.Count() != int64(len(edges)) {
+		t.Fatalf("framed Count = %d, want %d (frame-index footer)", r.Count(), len(edges))
 	}
 	for i, want := range edges {
 		got, err := r.Read()
@@ -208,20 +209,192 @@ func TestFixedLayoutIsByteIdentical(t *testing.T) {
 	}
 }
 
-// TestFramedSeekFails pins that record seeks are a fixed-layout feature.
-func TestFramedSeekFails(t *testing.T) {
-	cfg := varintConfig(t)
-	path := filepath.Join(t.TempDir(), "framed.bin")
-	if err := WriteSlice(path, record.EdgeCodec{}, cfg, makeEdges(50)); err != nil {
+// stripFooter copies the framed file at path to a new file with its
+// frame-index footer cut off — the exact shape of a legacy framed file
+// written before footers existed.
+func stripFooter(t *testing.T, cfg iomodel.Config, path, legacy string) {
+	t.Helper()
+	f, err := cfg.Backend().Open(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewReader(path, record.EdgeCodec{}, cfg)
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	f.Close()
+	flen, ok, detail := blockio.ParseFooterTrailer(data[size-blockio.FooterTrailerSize:])
+	if !ok || detail != "" {
+		t.Fatalf("framed file carries no valid footer trailer (ok=%v, %q)", ok, detail)
+	}
+	lf, err := cfg.Backend().Create(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lf.Write(data[:size-int64(flen)]); err != nil {
+		t.Fatal(err)
+	}
+	if err := lf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFooterlessFramedSeekFails pins the legacy behaviour: a framed file
+// without a frame-index footer still streams and counts by scan, but record
+// and key seeks fail — there is no index to seek through.
+func TestFooterlessFramedSeekFails(t *testing.T) {
+	cfg := varintConfig(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "framed.bin")
+	edges := makeEdges(50)
+	if err := WriteSlice(path, record.EdgeCodec{}, cfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	legacy := filepath.Join(dir, "legacy.bin")
+	stripFooter(t, cfg, path, legacy)
+
+	got, err := ReadAll(legacy, record.EdgeCodec{}, cfg)
+	if err != nil {
+		t.Fatalf("legacy footerless file no longer streams: %v", err)
+	}
+	if len(got) != len(edges) || got[17] != edges[17] {
+		t.Fatalf("legacy footerless file misread: %d records", len(got))
+	}
+	n, err := CountRecords(legacy, record.EdgeCodec{}, cfg)
+	if err != nil || n != int64(len(edges)) {
+		t.Fatalf("CountRecords on legacy file = %d, %v", n, err)
+	}
+
+	r, err := NewReader(legacy, record.EdgeCodec{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer r.Close()
+	if r.Count() != -1 {
+		t.Fatalf("legacy footerless Count = %d, want -1", r.Count())
+	}
 	if err := r.SeekTo(10); err == nil {
-		t.Fatal("SeekTo on a framed file succeeded")
+		t.Fatal("SeekTo on a footerless framed file succeeded")
+	}
+	if _, err := r.SeekToKey(1); err == nil {
+		t.Fatal("SeekToKey on a footerless framed file succeeded")
+	}
+}
+
+// TestFramedSeekMatchesFixed is the recio-level acceptance pin: SeekTo and
+// sequential reads after it return byte-identical records on a framed+footer
+// file and on the fixed-layout file of the same records, at every probed
+// index, including repeated, backward and past-the-end probes.
+func TestFramedSeekMatchesFixed(t *testing.T) {
+	dir := t.TempDir()
+	edges := makeEdges(500)
+	fixedPath := filepath.Join(dir, "fixed.bin")
+	if err := WriteSlice(fixedPath, record.EdgeCodec{}, fixedConfig(t), edges); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{record.FamilyVarint, record.FamilyCompress} {
+		cfg := testConfig(t)
+		cfg.Codec = family
+		framedPath := filepath.Join(dir, family+".bin")
+		if err := WriteSlice(framedPath, record.EdgeCodec{}, cfg, edges); err != nil {
+			t.Fatal(err)
+		}
+		fr, err := NewReader(framedPath, record.EdgeCodec{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xr, err := NewReader(fixedPath, record.EdgeCodec{}, fixedConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := fr.Count(), xr.Count(); got != want {
+			t.Fatalf("%s: Count = %d, fixed says %d", family, got, want)
+		}
+		probes := []int64{0, 499, 250, 251, 1, 498, 7, 7, 123, 0}
+		for _, idx := range probes {
+			if err := fr.SeekTo(idx); err != nil {
+				t.Fatalf("%s: SeekTo(%d): %v", family, idx, err)
+			}
+			if err := xr.SeekTo(idx); err != nil {
+				t.Fatalf("fixed SeekTo(%d): %v", idx, err)
+			}
+			for k := 0; k < 3 && idx+int64(k) < int64(len(edges)); k++ {
+				fgot, ferr := fr.Read()
+				xgot, xerr := xr.Read()
+				if ferr != nil || xerr != nil {
+					t.Fatalf("%s: read after SeekTo(%d)+%d: %v / %v", family, idx, k, ferr, xerr)
+				}
+				if fgot != xgot {
+					t.Fatalf("%s: SeekTo(%d)+%d = %+v, fixed reads %+v", family, idx, k, fgot, xgot)
+				}
+			}
+		}
+		// Past-the-end parks at EOF on both layouts.
+		if err := fr.SeekTo(int64(len(edges))); err != nil {
+			t.Fatalf("%s: SeekTo(end): %v", family, err)
+		}
+		if _, err := fr.Read(); err != io.EOF {
+			t.Fatalf("%s: read past the end returned %v, want EOF", family, err)
+		}
+		fr.Close()
+		xr.Close()
+	}
+}
+
+// TestSeekToKeyBothLayouts pins the key probe on a key-sorted file: the
+// returned index is the first record with KeyOf >= key on the fixed layout
+// and on both framed families, for present keys, absent keys, the global
+// minimum and past-the-maximum.
+func TestSeekToKeyBothLayouts(t *testing.T) {
+	dir := t.TempDir()
+	var edges []record.Edge
+	for u := uint32(0); u < 300; u += 3 { // keys have gaps: u<<32|v with v = u+1
+		edges = append(edges, record.Edge{U: u, V: u + 1})
+	}
+	for _, family := range []string{record.FamilyFixed, record.FamilyVarint, record.FamilyCompress} {
+		cfg := testConfig(t)
+		cfg.Codec = family
+		path := filepath.Join(dir, "bykey-"+family+".bin")
+		if err := WriteSlice(path, record.EdgeCodec{}, cfg, edges); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(path, record.EdgeCodec{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seek := func(key uint64, wantIdx int64) {
+			t.Helper()
+			idx, err := r.SeekToKey(key)
+			if err != nil {
+				t.Fatalf("%s: SeekToKey(%d): %v", family, key, err)
+			}
+			if idx != wantIdx {
+				t.Fatalf("%s: SeekToKey(%d) = %d, want %d", family, key, idx, wantIdx)
+			}
+			if wantIdx < int64(len(edges)) {
+				got, err := r.Read()
+				if err != nil {
+					t.Fatalf("%s: read after SeekToKey(%d): %v", family, key, err)
+				}
+				if got != edges[wantIdx] {
+					t.Fatalf("%s: SeekToKey(%d) read %+v, want %+v", family, key, got, edges[wantIdx])
+				}
+			} else if _, err := r.Read(); err != io.EOF {
+				t.Fatalf("%s: read past max key returned %v, want EOF", family, err)
+			}
+		}
+		key := func(i int) uint64 { return uint64(edges[i].U)<<32 | uint64(edges[i].V) }
+		seek(0, 0)                                   // below the minimum
+		seek(key(0), 0)                              // exact minimum
+		seek(key(42), 42)                            // exact interior hit
+		seek(key(42)+1, 43)                          // absent key rounds up
+		seek(key(len(edges)-1), int64(len(edges)-1)) // exact maximum
+		seek(key(len(edges)-1)+1, int64(len(edges))) // past the maximum
+		r.Close()
 	}
 }
 
@@ -272,7 +445,9 @@ func TestFramedWrongType(t *testing.T) {
 }
 
 // TestFramedTruncatedPayload: cutting a framed file mid-payload surfaces a
-// clear error instead of silent record loss.
+// clear error instead of silent record loss.  The cut reaches through the
+// frame-index footer into the last frame's payload — a cut inside the footer
+// alone only demotes the file to streaming-only.
 func TestFramedTruncatedPayload(t *testing.T) {
 	cfg := varintConfig(t)
 	dir := t.TempDir()
@@ -288,7 +463,15 @@ func TestFramedTruncatedPayload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data := make([]byte, size-3)
+	tail := make([]byte, blockio.FooterTrailerSize)
+	if _, err := f.ReadAt(tail, size-blockio.FooterTrailerSize); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	flen, ok, detail := blockio.ParseFooterTrailer(tail)
+	if !ok || detail != "" {
+		t.Fatalf("framed file carries no valid footer trailer (ok=%v, %q)", ok, detail)
+	}
+	data := make([]byte, size-int64(flen)-3)
 	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
 		t.Fatal(err)
 	}

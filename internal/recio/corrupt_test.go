@@ -81,14 +81,24 @@ func TestCorruptionSmokeEveryPayloadByte(t *testing.T) {
 		}
 	}
 
-	// Every byte from the first frame's CRC field onward is either CRC
+	// The file ends with the frame-index footer; streaming reads never
+	// consult it, so the byte-flip sweep splits at its start: flips in the
+	// frames region must fail the streaming read, flips in the footer region
+	// must fail the seek path (below) while streaming stays clean.
+	flen, okTrailer, trailerDetail := blockio.ParseFooterTrailer(pristine[len(pristine)-blockio.FooterTrailerSize:])
+	if !okTrailer || trailerDetail != "" {
+		t.Fatalf("framed file carries no valid footer trailer (ok=%v, %q)", okTrailer, trailerDetail)
+	}
+	footerBase := int64(len(pristine) - flen)
+
+	// Every byte from the first frame's CRC field to the footer is either CRC
 	// payload or a later frame's header: a flip anywhere there must be caught.
 	// The leading header fields (magic, version, codec, counts) are exercised
 	// separately below, because a flip there is rejected as a malformed
 	// header — also a detection, but not always via the CRC.
 	crcStart := int64(blockio.FrameHeaderSize - 4)
 	corruptReads := 0
-	for off := crcStart; off < int64(len(pristine)); off++ {
+	for off := crcStart; off < footerBase; off++ {
 		patched := append([]byte(nil), pristine...)
 		patched[off] ^= 1 << (off % 8)
 		writeCopy(patched)
@@ -103,6 +113,35 @@ func TestCorruptionSmokeEveryPayloadByte(t *testing.T) {
 	}
 	if cfg.Stats.Snapshot().CorruptFrames != int64(corruptReads) {
 		t.Fatalf("stats counted %d corrupt frames, want %d", cfg.Stats.Snapshot().CorruptFrames, corruptReads)
+	}
+
+	// Footer-region flips: the streaming read either stays clean and identical
+	// (the frames are intact; most flips land here) or — when the flip hits
+	// the footer's start magic, which the streaming reader inspects to know
+	// where frames end — fails typed.  Never a clean read of different
+	// records.  The seek path must refuse to act on the damaged index in
+	// every case: typed corruption, or the footerless-seek error when the
+	// flip kills the end magic.  Never a silent mis-seek.
+	for off := footerBase; off < int64(len(pristine)); off++ {
+		patched := append([]byte(nil), pristine...)
+		patched[off] ^= 1 << (off % 8)
+		writeCopy(patched)
+		got, err := readAllOrErr(path, cfg)
+		if err == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("flipping footer byte %d silently decoded %d different records", off, len(got))
+		}
+		if err != nil && !errors.Is(err, blockio.ErrCorrupt) {
+			t.Fatalf("flipping footer byte %d failed with %v, want ErrCorrupt", off, err)
+		}
+		r, err := NewReader(path, record.EdgeCodec{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.SeekTo(3); err == nil {
+			r.Close()
+			t.Fatalf("flipping footer byte %d left SeekTo working", off)
+		}
+		r.Close()
 	}
 
 	// Header-field flips (bytes 4..14 of the first frame): never a clean read
@@ -215,9 +254,13 @@ func TestVersion1FileStillReads(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Transcribe every version-2 frame into its version-1 form: same codec,
-	// count and payload, 14-byte header, no CRC.
+	// count and payload, 14-byte header, no CRC.  The frame-index footer is
+	// dropped — version-1 files predate it.
 	var v1 []byte
 	for off := 0; off < len(v2); {
+		if blockio.HasFooterMagic(v2[off:]) {
+			break
+		}
 		h, err := blockio.ParseFrameHeader(v2[off:])
 		if err != nil {
 			t.Fatalf("frame at %d: %v", off, err)

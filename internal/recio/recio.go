@@ -7,12 +7,15 @@
 // iomodel.Config (see iomodel.Config.Codec):
 //
 //   - fixed: the plain concatenation of fixed-size records — byte-identical
-//     to the files this repository wrote before codecs became pluggable, and
-//     the only layout supporting record-indexed seeks (SeekTo) and free
-//     counting (Count).
+//     to the files this repository wrote before codecs became pluggable;
+//     record-indexed seeks are byte arithmetic and counting is free.
 //   - framed: self-describing frames (blockio.FrameHeader) whose payload a
-//     variable-length record.BlockCodec encodes, typically much smaller than
-//     the fixed layout for the pipeline's sorted intermediates.
+//     variable-length record.BlockCodec encodes — delta+varint for sorted
+//     intermediates, LZ compression for unsorted ones.  Framed writers close
+//     the file with a frame-index footer (blockio.Footer), which makes the
+//     file seekable too: SeekTo binary-searches the index, SeekToKey range
+//     probes via per-frame min/max keys, and Count is O(1).  Footerless
+//     framed files (written before footers existed) stay streaming-only.
 //
 // Readers never need to be told the layout: NewReader sniffs the frame magic
 // and dispatches on the frame's codec ID, so files written under different
@@ -20,8 +23,10 @@
 package recio
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"extscc/internal/blockio"
 	"extscc/internal/iomodel"
@@ -45,6 +50,7 @@ type Writer[T any] struct {
 	batch    []T
 	frameCap int
 	frame    []byte
+	entries  []blockio.FooterEntry
 
 	closed bool
 }
@@ -56,9 +62,9 @@ func NewWriter[T any](path string, codec record.Codec[T], cfg iomodel.Config) (*
 }
 
 // NewWriterFamily is NewWriter with an explicit codec family, overriding the
-// configuration.  Operators that later need record-indexed random access to
-// the file (recio.Reader.SeekTo works only on fixed files) force
-// record.FamilyFixed here regardless of the run's codec.
+// configuration.  Every layout this writer produces is seekable — fixed by
+// byte arithmetic, framed through the frame-index footer — so the override
+// exists for layout experiments and tests, not as a seekability workaround.
 func NewWriterFamily[T any](path string, codec record.Codec[T], cfg iomodel.Config, family string) (*Writer[T], error) {
 	bw, err := blockio.NewWriter(path, cfg)
 	if err != nil {
@@ -109,11 +115,26 @@ func (w *Writer[T]) Write(rec T) error {
 }
 
 // flushFrame encodes the batched records as one self-describing frame —
-// current format version, CRC-32C over header and payload — and hands it to
-// the block writer.
+// current format version, CRC-32C over header and payload — hands it to the
+// block writer, and indexes it for the footer Close appends: byte offset,
+// first record index and the key range of the frame's records.
 func (w *Writer[T]) flushFrame() error {
 	if len(w.batch) == 0 {
 		return nil
+	}
+	entry := blockio.FooterEntry{
+		Offset:      w.w.BytesWritten(),
+		FirstRecord: w.count - int64(len(w.batch)),
+		Count:       uint32(len(w.batch)),
+		MinKey:      record.KeyOf(w.batch[0]),
+		MaxKey:      record.KeyOf(w.batch[0]),
+	}
+	for _, rec := range w.batch[1:] {
+		if k := record.KeyOf(rec); k < entry.MinKey {
+			entry.MinKey = k
+		} else if k > entry.MaxKey {
+			entry.MaxKey = k
+		}
 	}
 	w.frame = w.bc.AppendBlock(w.frame[:blockio.FrameHeaderSize], w.batch)
 	blockio.PutFrameHeader(w.frame[:blockio.FrameHeaderSize], blockio.FrameHeader{
@@ -124,6 +145,7 @@ func (w *Writer[T]) flushFrame() error {
 	if _, err := w.w.Write(w.frame); err != nil {
 		return err
 	}
+	w.entries = append(w.entries, entry)
 	w.batch = w.batch[:0]
 	return nil
 }
@@ -134,9 +156,10 @@ func (w *Writer[T]) Count() int64 { return w.count }
 // Name returns the file path.
 func (w *Writer[T]) Name() string { return w.w.Name() }
 
-// Close flushes buffered records and blocks and closes the file.  The
-// records' fixed-layout volume is charged to the logical-bytes counter, so
-// Stats can report the run's compression ratio.
+// Close flushes buffered records and blocks, appends the frame-index footer
+// of a framed file, and closes the file.  The records' fixed-layout volume is
+// charged to the logical-bytes counter, so Stats can report the run's
+// compression ratio.
 func (w *Writer[T]) Close() error {
 	if w.closed {
 		return w.w.Close()
@@ -145,6 +168,9 @@ func (w *Writer[T]) Close() error {
 	var ferr error
 	if w.bc != nil {
 		ferr = w.flushFrame()
+		if ferr == nil && len(w.entries) > 0 {
+			_, ferr = w.w.Write(blockio.AppendFooter(nil, w.entries))
+		}
 	}
 	w.stats.CountLogicalWrite(w.count * int64(w.codec.Size()))
 	cerr := w.w.Close()
@@ -160,6 +186,7 @@ type Reader[T any] struct {
 	r     *blockio.Reader
 	codec record.Codec[T]
 	stats *iomodel.Stats
+	cfg   iomodel.Config
 
 	// Fixed mode.  pre holds bytes consumed from the file head while
 	// sniffing for the frame magic; records are served from it first.
@@ -170,7 +197,8 @@ type Reader[T any] struct {
 	// Framed mode.  pendingHead holds the raw bytes of the header sniffed at
 	// open (needed to verify that frame's CRC); frameIdx/frameOff track the
 	// index and byte offset of the frame currently being read, so corruption
-	// errors can name the exact frame.
+	// errors can name the exact frame; frameFirst/nextFirst track the record
+	// index of the current batch's first record and of the frame after it.
 	bc          record.BlockCodec[T]
 	batch       []T
 	bi          int
@@ -179,6 +207,17 @@ type Reader[T any] struct {
 	pendingHead []byte
 	frameIdx    int64
 	frameOff    int64
+	frameFirst  int64
+	nextFirst   int64
+	done        bool
+
+	// Frame-index footer, loaded lazily by the first SeekTo/SeekToKey/Count
+	// — sequential streaming never pays for it.  footer stays nil for legacy
+	// footerless files; footerErr caches a corrupt footer (corruption is
+	// deterministic, so retrying the parse cannot help).
+	footerLoaded bool
+	footer       *blockio.Footer
+	footerErr    error
 }
 
 // NewReader opens a record file for sequential reading, sniffing its layout
@@ -193,7 +232,7 @@ func NewReader[T any](path string, codec record.Codec[T], cfg iomodel.Config) (*
 	if err != nil {
 		return nil, err
 	}
-	r := &Reader[T]{r: br, codec: codec, stats: cfg.Stats}
+	r := &Reader[T]{r: br, codec: codec, stats: cfg.Stats, cfg: cfg}
 	fail := func(err error) (*Reader[T], error) {
 		br.Close()
 		return nil, err
@@ -263,14 +302,52 @@ func NewReader[T any](path string, codec record.Codec[T], cfg iomodel.Config) (*
 }
 
 // Framed reports whether the file is framed (variable-length codec).  Framed
-// files stream only: Count returns -1 and SeekTo fails.
+// files with a frame-index footer seek and count like fixed ones; legacy
+// footerless framed files stream only (Count returns -1, SeekTo fails).
 func (r *Reader[T]) Framed() bool { return r.bc != nil }
 
-// Count returns the total number of records in the file, or -1 for a framed
-// file (whose record count is only known after a scan; see CountRecords).
+// loadFooter probes a framed file for its frame-index footer, once: two
+// random reads through a dedicated single-worker block reader, so the
+// streaming reader's position and prefetch pipeline stay untouched.  The
+// result — footer, footerless, or typed corruption — is cached.
+func (r *Reader[T]) loadFooter() error {
+	if r.footerLoaded {
+		return r.footerErr
+	}
+	r.footerLoaded = true
+	cfg := r.cfg
+	cfg.Workers = 1
+	fr, err := blockio.NewReader(r.Name(), cfg)
+	if err != nil {
+		r.footerErr = err
+		return err
+	}
+	defer fr.Close()
+	f, ok, err := blockio.ReadFooter(fr)
+	if err != nil {
+		if errors.Is(err, blockio.ErrCorrupt) {
+			r.stats.CountCorrupt()
+			err = fmt.Errorf("recio: %w", err)
+		}
+		r.footerErr = err
+		return err
+	}
+	if ok {
+		r.footer = &f
+	}
+	return nil
+}
+
+// Count returns the total number of records in the file: size arithmetic for
+// the fixed layout, the frame-index footer (loaded on first use) for framed
+// files.  It returns -1 for a legacy footerless framed file, whose record
+// count is only known after a scan (see CountRecords).
 func (r *Reader[T]) Count() int64 {
 	if r.bc != nil {
-		return -1
+		if err := r.loadFooter(); err != nil || r.footer == nil {
+			return -1
+		}
+		return r.footer.TotalRecords
 	}
 	return r.r.Size() / int64(r.codec.Size())
 }
@@ -311,6 +388,9 @@ func (r *Reader[T]) corrupt(off int64, detail string) error {
 // never as wrong records.
 func (r *Reader[T]) nextFrame() error {
 	for {
+		if r.done {
+			return io.EOF
+		}
 		var h blockio.FrameHeader
 		var head []byte
 		start := r.frameOff
@@ -327,6 +407,12 @@ func (r *Reader[T]) nextFrame() error {
 					return r.corrupt(start, "truncated frame header")
 				}
 				return fmt.Errorf("recio: read frame header of %s: %w", r.Name(), err)
+			}
+			if blockio.HasFooterMagic(buf[:]) {
+				// The frames are over: what follows is the frame-index footer,
+				// which loadFooter reads through its own reader.
+				r.done = true
+				return io.EOF
 			}
 			hl, err := blockio.FrameHeaderLen(buf[:])
 			if err != nil {
@@ -374,6 +460,8 @@ func (r *Reader[T]) nextFrame() error {
 		r.frameIdx++
 		r.frameOff = start + int64(len(head)) + int64(h.Payload)
 		r.bi = 0
+		r.frameFirst = r.nextFirst
+		r.nextFirst += int64(len(r.batch))
 		if len(r.batch) > 0 {
 			return nil
 		}
@@ -404,16 +492,123 @@ func (r *Reader[T]) Read() (T, error) {
 	return r.codec.Decode(r.buf), nil
 }
 
-// SeekTo repositions the reader to the record with the given index.  The
-// following block fetch is charged as a random I/O unless it happens to be
-// sequential.  SeekTo is only supported on fixed-layout files: a framed file
-// has no record-index-to-byte-offset mapping.
-func (r *Reader[T]) SeekTo(recordIndex int64) error {
-	if r.bc != nil {
-		return fmt.Errorf("recio: %s is a framed codec file; record seeks need the fixed layout (write such files with record.FamilyFixed)", r.Name())
+// seekFrame positions the framed reader on footer entry fi and decodes that
+// frame, leaving bi at its first record.  The footer must be loaded.
+func (r *Reader[T]) seekFrame(fi int) error {
+	e := r.footer.Entries[fi]
+	if err := r.r.SeekTo(e.Offset); err != nil {
+		return err
 	}
-	r.preOff = len(r.pre)
-	return r.r.SeekTo(recordIndex * int64(r.codec.Size()))
+	r.pending, r.pendingHead = nil, nil
+	r.done = false
+	r.frameIdx = int64(fi)
+	r.frameOff = e.Offset
+	r.nextFirst = e.FirstRecord
+	r.batch = r.batch[:0]
+	if err := r.nextFrame(); err != nil {
+		if err == io.EOF {
+			return r.corrupt(e.Offset, "footer names a frame past the end of the frames")
+		}
+		return err
+	}
+	if int64(len(r.batch)) != int64(e.Count) {
+		return r.corrupt(e.Offset, fmt.Sprintf("frame holds %d records but the footer says %d", len(r.batch), e.Count))
+	}
+	return nil
+}
+
+// seekEnd parks the framed reader in the end-of-file state: the next Read
+// returns io.EOF.
+func (r *Reader[T]) seekEnd() {
+	r.done = true
+	r.batch = r.batch[:0]
+	r.bi = 0
+	r.frameFirst = r.nextFirst
+}
+
+// SeekTo repositions the reader to the record with the given index; an index
+// at or past the end parks the reader at io.EOF.  On the fixed layout the
+// seek is byte arithmetic; on a framed file with a frame-index footer it is a
+// binary search over the footer entries, decoding one frame — and a target
+// inside the already-decoded frame costs no I/O at all, which makes
+// converging binary-search probes over a framed file cheap.  The block fetch
+// after a seek is charged as a random I/O unless it happens to be
+// sequential.  Legacy footerless framed files cannot seek.
+func (r *Reader[T]) SeekTo(recordIndex int64) error {
+	if r.bc == nil {
+		r.preOff = len(r.pre)
+		return r.r.SeekTo(recordIndex * int64(r.codec.Size()))
+	}
+	if err := r.loadFooter(); err != nil {
+		return err
+	}
+	if r.footer == nil {
+		return fmt.Errorf("recio: %s is a framed codec file without a frame-index footer; record seeks need a footer (rewrite the file) or the fixed layout", r.Name())
+	}
+	if len(r.batch) > 0 && recordIndex >= r.frameFirst && recordIndex < r.frameFirst+int64(len(r.batch)) {
+		r.bi = int(recordIndex - r.frameFirst)
+		return nil
+	}
+	fi, ok := r.footer.FrameForRecord(recordIndex)
+	if !ok {
+		r.nextFirst = r.footer.TotalRecords
+		r.seekEnd()
+		return nil
+	}
+	if err := r.seekFrame(fi); err != nil {
+		return err
+	}
+	r.bi = int(recordIndex - r.footer.Entries[fi].FirstRecord)
+	return nil
+}
+
+// SeekToKey repositions the reader to the first record whose record.KeyOf is
+// at least key, returning that record's index; when every key in the file is
+// smaller it parks the reader at io.EOF and returns Count().  The probe is
+// meaningful on files sorted by their canonical order (which KeyOf is
+// monotone with): a binary search over record indexes on the fixed layout,
+// and a footer probe through the per-frame min/max keys — O(log F) plus one
+// frame decode — on a framed file.  Legacy footerless framed files cannot
+// seek.
+func (r *Reader[T]) SeekToKey(key uint64) (int64, error) {
+	if r.bc == nil {
+		lo, hi := int64(0), r.Count()
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if err := r.SeekTo(mid); err != nil {
+				return 0, err
+			}
+			rec, err := r.Read()
+			if err != nil {
+				return 0, err
+			}
+			if record.KeyOf(rec) >= key {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo, r.SeekTo(lo)
+	}
+	if err := r.loadFooter(); err != nil {
+		return 0, err
+	}
+	if r.footer == nil {
+		return 0, fmt.Errorf("recio: %s is a framed codec file without a frame-index footer; key seeks need a footer (rewrite the file) or the fixed layout", r.Name())
+	}
+	fi, ok := r.footer.FrameForKey(key)
+	if !ok {
+		r.nextFirst = r.footer.TotalRecords
+		r.seekEnd()
+		return r.footer.TotalRecords, nil
+	}
+	if len(r.batch) == 0 || r.frameFirst != r.footer.Entries[fi].FirstRecord {
+		if err := r.seekFrame(fi); err != nil {
+			return 0, err
+		}
+	}
+	r.bi = sort.Search(len(r.batch), func(i int) bool { return record.KeyOf(r.batch[i]) >= key })
+	return r.frameFirst + int64(r.bi), nil
 }
 
 // Close closes the underlying file.
@@ -554,9 +749,12 @@ func ReadAll[T any](path string, codec record.Codec[T], cfg iomodel.Config) ([]T
 		return nil, err
 	}
 	defer r.Close()
-	hint := r.Count()
-	if hint < 0 {
-		hint = 0
+	// The capacity hint must stay free: on a framed file Count() would load
+	// the frame-index footer — two random block reads — which a sequential
+	// drain has no business charging.
+	hint := int64(0)
+	if !r.Framed() {
+		hint = r.Count()
 	}
 	recs := make([]T, 0, hint)
 	for {
@@ -574,10 +772,12 @@ func ReadAll[T any](path string, codec record.Codec[T], cfg iomodel.Config) ([]T
 
 // CountRecords returns the number of records in the file at path.  For a
 // fixed-layout file the count is size arithmetic on top of the open (which,
-// like every open, reads the head block to detect the layout); for a framed
-// file the frame headers are scanned, which costs one sequential pass over
-// the file's blocks.  Operators on the hot path therefore carry counts from
-// the writers that produced their files instead of calling this.
+// like every open, reads the head block to detect the layout), and for a
+// framed file with a frame-index footer it is read off the footer (two
+// random block reads).  Only legacy footerless framed files still scan the
+// frame headers — one sequential pass over the file's blocks — so operators
+// on the hot path carry counts from the writers that produced their files
+// instead of calling this.
 func CountRecords[T any](path string, codec record.Codec[T], cfg iomodel.Config) (int64, error) {
 	r, err := NewReader(path, codec, cfg)
 	if err != nil {
@@ -586,6 +786,12 @@ func CountRecords[T any](path string, codec record.Codec[T], cfg iomodel.Config)
 	defer r.Close()
 	if !r.Framed() {
 		return r.Count(), nil
+	}
+	if err := r.loadFooter(); err != nil {
+		return 0, err
+	}
+	if r.footer != nil {
+		return r.footer.TotalRecords, nil
 	}
 	var total int64
 	for {

@@ -1,0 +1,241 @@
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The compress family: per-frame byte-oriented LZ77-style match/literal
+// compression applied over the fixed record layout.  Where the varint family
+// exploits sortedness (small deltas between consecutive records), compress
+// exploits byte-level repetition in the fixed layout — shared high bytes of
+// node ids, zero padding, repeated keys — and therefore still wins on
+// unsorted files.  The byte-level payload spec lives in doc.go.
+
+const (
+	// compressModeRaw marks a payload holding the fixed layout verbatim: the
+	// compressor only keeps the LZ form when it is strictly smaller, so a
+	// frame never costs more than one byte over the fixed layout.
+	compressModeRaw = 0
+	// compressModeLZ marks an LZ-compressed payload (token/literals/offset
+	// sequences, see doc.go).
+	compressModeLZ = 1
+
+	// lzMinMatch is the shortest back-reference worth encoding: a match costs
+	// at least 3 bytes (token + 2-byte offset), so 4 is the break-even point.
+	lzMinMatch = 4
+	// lzMaxOffset is the farthest a match may reach back (2-byte offset;
+	// offset 0 is invalid).
+	lzMaxOffset = 1 << 16
+	// lzHashBits sizes the encoder's chaining table.
+	lzHashBits = 13
+)
+
+// lzHash maps a 4-byte sequence onto the encoder table.
+func lzHash(u uint32) uint32 { return (u * 2654435761) >> (32 - lzHashBits) }
+
+// appendLZLen appends the 255-run extension bytes of a token length field:
+// a nibble of 15 means "15 plus the following bytes, each adding up to 255,
+// terminated by the first byte under 255".
+func appendLZLen(dst []byte, v int) []byte {
+	if v < 15 {
+		return dst
+	}
+	v -= 15
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// lzEmit appends one sequence: token, literal-length extension, literals and
+// — when matchLen > 0 — the 2-byte little-endian offset and match-length
+// extension.  matchLen == 0 emits the final literals-only sequence.
+func lzEmit(dst, lits []byte, matchLen, offset int) []byte {
+	litNibble := len(lits)
+	if litNibble > 15 {
+		litNibble = 15
+	}
+	matchNibble := 0
+	if matchLen > 0 {
+		matchNibble = matchLen - lzMinMatch
+		if matchNibble > 15 {
+			matchNibble = 15
+		}
+	}
+	dst = append(dst, byte(litNibble<<4|matchNibble))
+	dst = appendLZLen(dst, len(lits))
+	dst = append(dst, lits...)
+	if matchLen > 0 {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(offset-1))
+		dst = appendLZLen(dst, matchLen-lzMinMatch)
+	}
+	return dst
+}
+
+// lzAppend appends the LZ encoding of src to dst.  The output is a sequence
+// of (token, literals, offset) groups closed by a literals-only group, so the
+// decoder knows it is done exactly when the payload is exhausted.
+func lzAppend(dst, src []byte) []byte {
+	var table [1 << lzHashBits]int32 // position+1 of the last occurrence
+	anchor, i := 0, 0
+	for i+lzMinMatch <= len(src) {
+		seq := binary.LittleEndian.Uint32(src[i:])
+		h := lzHash(seq)
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || i-cand > lzMaxOffset || binary.LittleEndian.Uint32(src[cand:]) != seq {
+			i++
+			continue
+		}
+		matchLen := lzMinMatch
+		for i+matchLen < len(src) && src[cand+matchLen] == src[i+matchLen] {
+			matchLen++
+		}
+		dst = lzEmit(dst, src[anchor:i], matchLen, i-cand)
+		i += matchLen
+		anchor = i
+	}
+	return lzEmit(dst, src[anchor:], 0, 0)
+}
+
+// errLZCorrupt wraps a malformed LZ payload; the framed reader surfaces it as
+// a typed corruption error.
+func errLZCorrupt(detail string) error {
+	return fmt.Errorf("record: malformed LZ payload: %s", detail)
+}
+
+// readLZLen extends a token nibble of 15 by its 255-run continuation bytes.
+func readLZLen(payload []byte, off, v int) (int, int, error) {
+	if v < 15 {
+		return v, off, nil
+	}
+	for {
+		if off >= len(payload) {
+			return 0, off, errLZCorrupt("length extension runs past the payload")
+		}
+		b := payload[off]
+		off++
+		v += int(b)
+		if b != 255 {
+			return v, off, nil
+		}
+	}
+}
+
+// lzDecode appends exactly size decompressed bytes of payload to dst.  Every
+// malformed shape — truncation inside a group, an offset reaching before the
+// block, output over- or under-run — returns an error; the decoder never
+// reads or writes out of bounds.
+func lzDecode(dst, payload []byte, size int) ([]byte, error) {
+	base := len(dst)
+	for {
+		if len(payload) == 0 {
+			return dst, errLZCorrupt("missing final literal group")
+		}
+		token := payload[0]
+		off := 1
+		litLen, off, err := readLZLen(payload, off, int(token>>4))
+		if err != nil {
+			return dst, err
+		}
+		if off+litLen > len(payload) {
+			return dst, errLZCorrupt("literals run past the payload")
+		}
+		if len(dst)-base+litLen > size {
+			return dst, errLZCorrupt("output overruns the frame's record bytes")
+		}
+		dst = append(dst, payload[off:off+litLen]...)
+		off += litLen
+		if off == len(payload) {
+			if len(dst)-base != size {
+				return dst, errLZCorrupt("output underruns the frame's record bytes")
+			}
+			return dst, nil
+		}
+		if off+2 > len(payload) {
+			return dst, errLZCorrupt("truncated match offset")
+		}
+		matchOff := int(binary.LittleEndian.Uint16(payload[off:])) + 1
+		off += 2
+		matchLen, off, err := readLZLen(payload, off, int(token&0xf))
+		if err != nil {
+			return dst, err
+		}
+		matchLen += lzMinMatch
+		if matchOff > len(dst)-base {
+			return dst, errLZCorrupt("match offset reaches before the block")
+		}
+		if len(dst)-base+matchLen > size {
+			return dst, errLZCorrupt("output overruns the frame's record bytes")
+		}
+		for k := 0; k < matchLen; k++ { // byte-wise: overlapping matches replicate
+			dst = append(dst, dst[len(dst)-matchOff])
+		}
+		payload = payload[off:]
+	}
+}
+
+// CompressCodec is the LZ block codec for record type T: the frame payload is
+// a mode byte followed by either the fixed layout verbatim (mode 0) or its LZ
+// encoding (mode 1, only when strictly smaller).  Obtain instances through
+// BlockCodecFor[T](FamilyCompress).
+type CompressCodec[T any] struct {
+	id    CodecID
+	fixed Codec[T]
+}
+
+// ID returns the compress-family codec identifier for T.
+func (c CompressCodec[T]) ID() CodecID { return c.id }
+
+// MaxRecordSize returns the fixed size plus one: the raw-mode fallback caps
+// any frame at one mode byte over the fixed layout, and the LZ mode is used
+// only when smaller.
+func (c CompressCodec[T]) MaxRecordSize() int { return c.fixed.Size() + 1 }
+
+// AppendBlock implements BlockCodec.
+func (c CompressCodec[T]) AppendBlock(dst []byte, recs []T) []byte {
+	size := c.fixed.Size()
+	raw := make([]byte, len(recs)*size)
+	for i, rec := range recs {
+		c.fixed.Encode(rec, raw[i*size:])
+	}
+	start := len(dst)
+	dst = append(dst, compressModeLZ)
+	dst = lzAppend(dst, raw)
+	if len(dst)-start >= 1+len(raw) {
+		dst = append(dst[:start], compressModeRaw)
+		dst = append(dst, raw...)
+	}
+	return dst
+}
+
+// DecodeBlock implements BlockCodec.
+func (c CompressCodec[T]) DecodeBlock(payload []byte, count int, dst []T) ([]T, error) {
+	size := c.fixed.Size()
+	if len(payload) < 1 {
+		return dst, fmt.Errorf("record: codec %d: empty compress payload", c.id)
+	}
+	mode, body := payload[0], payload[1:]
+	var raw []byte
+	switch mode {
+	case compressModeRaw:
+		if len(body) != count*size {
+			return dst, fmt.Errorf("record: codec %d: raw payload has %d bytes, want %d for %d records", c.id, len(body), count*size, count)
+		}
+		raw = body
+	case compressModeLZ:
+		buf, err := lzDecode(make([]byte, 0, count*size), body, count*size)
+		if err != nil {
+			return dst, fmt.Errorf("record: codec %d: %w", c.id, err)
+		}
+		raw = buf
+	default:
+		return dst, fmt.Errorf("record: codec %d: unknown compress mode %d", c.id, mode)
+	}
+	for i := 0; i < count; i++ {
+		dst = append(dst, c.fixed.Decode(raw[i*size:]))
+	}
+	return dst, nil
+}

@@ -3,7 +3,7 @@
 // SCC label files), the total orders the paper's algorithms sort them by, and
 // the codecs that lay them out on disk.
 //
-// Two codec families are registered:
+// Three codec families are registered:
 //
 //   - "fixed": the historical fixed-size little-endian layout.  A fixed file
 //     is the plain concatenation of its records with no framing, so it is
@@ -18,6 +18,11 @@
 //     degree/key fields are written as plain uvarints.  Sorted runs collapse
 //     to one or two bytes per field; the encoding remains correct (just less
 //     compact) for unsorted files because zigzag deltas cover negative gaps.
+//   - "compress": a per-frame LZ77-style match/literal compressor applied
+//     over the fixed layout.  Where varint needs small deltas between
+//     consecutive records, compress exploits byte-level repetition — shared
+//     high bytes of node ids, zero padding, repeated records — and therefore
+//     still wins on unsorted files where varint degenerates.
 //
 // # Fixed layouts (family "fixed")
 //
@@ -48,12 +53,57 @@
 //	CodecVarintLabel      (5): zz(Node-prevNode) zz(SCC-prevSCC)
 //	CodecVarintEdgeSCC    (6): zz(U-prevU) zz(V-prevV) zz(SCC-prevSCC)
 //
-// The parenthesised number is the CodecID stored in the frame header, which
-// is how a reader recognises the record type and layout without out-of-band
-// configuration.  CodecID 0 is reserved for the fixed family and never
-// appears in a frame.  A decoder must consume exactly the frame's payload
-// while producing exactly the frame's record count; anything else is a
-// corruption error.
+// # Compress layouts (family "compress")
+//
+// One compress codec exists per record type, sharing a single payload format
+// parameterised only by the record's fixed size:
+//
+//	CodecCompressEdge       (7)
+//	CodecCompressNode       (8)
+//	CodecCompressNodeDegree (9)
+//	CodecCompressEdgeAug    (10)
+//	CodecCompressLabel      (11)
+//	CodecCompressEdgeSCC    (12)
+//
+// A compress frame payload is one mode byte followed by data:
+//
+//	payload := mode byte | data
+//	mode 0 (raw): data is the frame's records in the fixed layout, verbatim.
+//	mode 1 (LZ):  data is an LZ77 token stream that decompresses to the
+//	              fixed layout.
+//
+// The encoder always tries LZ and falls back to raw when LZ is not strictly
+// smaller, so a compress frame never costs more than one byte over fixed.
+// Any other mode byte is a corruption error.
+//
+// The LZ stream is a sequence of groups, each:
+//
+//	token    (1): litLen<<4 | matchLen', where matchLen' = matchLen-4,
+//	              both nibbles capped at 15
+//	litExt  (0+): if the litLen nibble is 15, extension bytes follow — each
+//	              255 adds 255, the first byte under 255 terminates and adds
+//	              its value (total literal length = 15 + extensions)
+//	literals(L):  L literal bytes, copied verbatim
+//	offset   (2): little-endian uint16 storing offset-1; the match copies
+//	              from `out position - offset`, which may overlap the bytes
+//	              being written (run-length behaviour)
+//	matchExt(0+): same 255-run extension scheme when the match nibble is 15
+//	              (total match length = 4 + 15 + extensions)
+//
+// The minimum match length is 4 (a match costs at least 3 bytes: token +
+// offset) and the maximum offset is 65536.  The final group of every stream
+// is literals-only: its match nibble is 0 and it carries no offset, so the
+// decoder finishes exactly when the payload is exhausted.  Matches never
+// reach back past the start of the frame — frames decode independently, as
+// in the varint family.  A decoded frame whose size is not count *
+// Size(record) is a corruption error.
+//
+// The parenthesised numbers above are the CodecID stored in the frame
+// header, which is how a reader recognises the record type and layout
+// without out-of-band configuration.  CodecID 0 is reserved for the fixed
+// family and never appears in a frame.  A decoder must consume exactly the
+// frame's payload while producing exactly the frame's record count; anything
+// else is a corruption error.
 //
 // # Frame format version 2 (integrity)
 //
@@ -65,6 +115,15 @@
 // mismatch.  Version-1 (14-byte, CRC-less) frames written by earlier
 // revisions still parse and decode; only the CRC verification is skipped for
 // them.  Fixed-family files remain frameless and carry no checksum.
+//
+// # Frame-index footers (seekable framed files)
+//
+// Framed files (varint and compress families) may end with a self-describing
+// footer indexing every frame — byte offset, first record index, record
+// count and min/max key per frame, CRC-protected — which upgrades them from
+// streaming-only to seekable: record seeks become a binary search over the
+// index and key probes use the per-frame key ranges.  The byte-level footer
+// layout and parsing rules live in package blockio (footer.go).
 //
 // Future codecs extend the table above with a fresh CodecID; IDs are
 // append-only and never reused, so old files stay decodable.

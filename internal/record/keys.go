@@ -1,0 +1,28 @@
+package record
+
+// KeyOf maps a record onto the uint64 seek key used by frame-footer skip
+// indexes and SeekToKey range probes.  The key is monotone with the record
+// type's canonical sort order (EdgeBySource, NodeLess, NodeDegreeByNode,
+// LabelByNode, EdgeAugBySource, EdgeSCCBySource): two-field orders pack as
+// primary<<32 | secondary, so sorting by key equals sorting by the canonical
+// comparator wherever the comparator's fields fit the key.  Record types
+// without a registered key map to 0; they are only ever written frameless,
+// where no footer is built.
+func KeyOf[T any](rec T) uint64 {
+	switch r := any(rec).(type) {
+	case Edge:
+		return uint64(r.U)<<32 | uint64(r.V)
+	case NodeID: // uint32: also covers SCCID
+		return uint64(r)
+	case NodeDegree:
+		return uint64(r.Node)
+	case EdgeAug:
+		return uint64(r.U)<<32 | uint64(r.V)
+	case Label:
+		return uint64(r.Node)<<32 | uint64(r.SCC)
+	case EdgeSCC:
+		return uint64(r.U)<<32 | uint64(r.V)
+	default:
+		return 0
+	}
+}

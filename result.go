@@ -64,7 +64,7 @@ type Stats struct {
 	// Workers it never affects the I/O counters, only Duration.
 	Storage string
 	// Codec names the record-codec family intermediate files were written
-	// with ("fixed", "varint"); see WithCodec.
+	// with ("fixed", "varint", "compress"); see WithCodec.
 	Codec string
 	// Duration is the wall-clock time of the computation.
 	Duration time.Duration
@@ -101,11 +101,11 @@ type Result struct {
 	streamErr error
 
 	// Random-access lookup state, built lazily by LabelOf/LookupLabels.
-	lookupOnce  sync.Once
-	lookupErr   error
-	labelFramed bool
-	labelCount  int64
-	labelTable  map[NodeID]uint32
+	lookupOnce   sync.Once
+	lookupErr    error
+	labelScanned bool
+	labelCount   int64
+	labelTable   map[NodeID]uint32
 }
 
 // Stream iterates the label assignment as (node, SCC label) pairs in node-id
@@ -141,13 +141,13 @@ func (r *Result) Stream() iter.Seq2[NodeID, uint32] {
 // iteration early.
 func (r *Result) Err() error { return r.streamErr }
 
-// initLookup inspects the label file once: fixed-layout files expose their
-// record count for binary search; framed files (varint codec) have no
-// record-index-to-byte-offset mapping, so the whole labelling is scanned into
-// an in-memory table instead.  The table costs 12-16 bytes per node, which is
-// exactly the regime the fixed codec exists to avoid — callers who need
-// random access over larger-than-RAM labellings should write the label file
-// with WithCodec("fixed").
+// initLookup inspects the label file once.  Fixed-layout files and framed
+// files with a frame-index footer expose their record count for binary search
+// — no per-node memory, whatever the codec.  Only a legacy footerless framed
+// file (written before footers existed) still has no record-index-to-byte
+// mapping; its whole labelling is scanned into an in-memory table costing
+// 12-16 bytes per node, the one regime where random access needs the file
+// rewritten to scale past RAM.
 func (r *Result) initLookup() error {
 	r.lookupOnce.Do(func() {
 		rd, err := recio.NewReader(r.LabelPath, record.LabelCodec{}, r.cfg)
@@ -156,11 +156,11 @@ func (r *Result) initLookup() error {
 			return
 		}
 		defer rd.Close()
-		if !rd.Framed() {
-			r.labelCount = rd.Count()
+		if n := rd.Count(); n >= 0 {
+			r.labelCount = n
 			return
 		}
-		r.labelFramed = true
+		r.labelScanned = true
 		table := make(map[NodeID]uint32)
 		for {
 			l, err := rd.Read()
@@ -179,16 +179,18 @@ func (r *Result) initLookup() error {
 }
 
 // LabelOf returns the SCC label of a single node, or ok=false for a node the
-// run never saw.  On a fixed-codec label file the lookup binary-searches the
-// node-sorted file directly — O(log n) random block reads, no memory — which
-// is what makes point queries over larger-than-RAM labellings possible.  On a
-// framed (varint) file the first call scans the labelling into an in-memory
-// table and later calls answer from it.  LabelOf is safe for concurrent use.
+// run never saw.  The lookup binary-searches the node-sorted file directly —
+// O(log n) random block reads, no memory — on fixed files by offset
+// arithmetic and on framed files (varint, compress) through the frame-index
+// footer, which is what makes point queries over larger-than-RAM labellings
+// possible under every codec.  Only a legacy footerless framed file falls
+// back to scanning the labelling into an in-memory table on first call.
+// LabelOf is safe for concurrent use.
 func (r *Result) LabelOf(node NodeID) (scc uint32, ok bool, err error) {
 	if err := r.initLookup(); err != nil {
 		return 0, false, err
 	}
-	if r.labelFramed {
+	if r.labelScanned {
 		scc, ok = r.labelTable[node]
 		return scc, ok, nil
 	}
@@ -202,19 +204,19 @@ func (r *Result) LabelOf(node NodeID) (scc uint32, ok bool, err error) {
 }
 
 // LookupLabels resolves a batch of nodes in one pass, returning a map holding
-// an entry for every node that has a label.  On a fixed-codec file the batch
-// is sorted and answered by a single forward sweep of monotone binary
-// searches — each search starts where the previous one ended — so a wave of
-// point lookups costs one traversal of the touched blocks instead of an
-// independent log-n probe per node.  This is the primitive the serving
-// subsystem's request coalescing is built on.  Framed files answer from the
-// same in-memory table as LabelOf.
+// an entry for every node that has a label.  The batch is sorted and answered
+// by a single forward sweep of monotone binary searches — each search starts
+// where the previous one ended — so a wave of point lookups costs one
+// traversal of the touched blocks instead of an independent log-n probe per
+// node, on fixed and footer-indexed framed files alike.  This is the
+// primitive the serving subsystem's request coalescing is built on.  Legacy
+// footerless framed files answer from the same in-memory table as LabelOf.
 func (r *Result) LookupLabels(nodes []NodeID) (map[NodeID]uint32, error) {
 	if err := r.initLookup(); err != nil {
 		return nil, err
 	}
 	out := make(map[NodeID]uint32, len(nodes))
-	if r.labelFramed {
+	if r.labelScanned {
 		for _, n := range nodes {
 			if scc, ok := r.labelTable[n]; ok {
 				out[n] = scc

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"extscc/internal/blockio"
 	"extscc/internal/graphgen"
 	"extscc/internal/storage"
 )
@@ -30,10 +31,10 @@ func lookupResult(t *testing.T, codec string, b Storage) *Result {
 }
 
 // TestLabelOfBothPaths pins LabelOf against LabelMap for every node plus a
-// batch of absent ids, on both codec families and both storage backends.  The
-// white-box assertions pin which path answered: the fixed codec must serve
-// point lookups by seeking (no in-memory table), the framed varint codec must
-// fall back to the one-time scan into a table.
+// batch of absent ids, on every codec family and both storage backends.  The
+// white-box assertion pins which path answered: every codec must serve point
+// lookups by seeking — fixed by offset arithmetic, framed families through
+// the frame-index footer — never by building the in-memory fallback table.
 func TestLabelOfBothPaths(t *testing.T) {
 	backends := []struct {
 		name string
@@ -42,7 +43,7 @@ func TestLabelOfBothPaths(t *testing.T) {
 		{"os", OSStorage()},
 		{"mem", storage.NewMem()},
 	}
-	for _, codec := range []string{"fixed", "varint"} {
+	for _, codec := range []string{"fixed", "varint", "compress"} {
 		for _, be := range backends {
 			t.Run(codec+"/"+be.name, func(t *testing.T) {
 				res := lookupResult(t, codec, be.b)
@@ -65,13 +66,11 @@ func TestLabelOfBothPaths(t *testing.T) {
 						t.Fatalf("LabelOf(absent %d) = (_, %v, %v), want (_, false, nil)", absent, ok, err)
 					}
 				}
-				// Path pinning: seekable files must not have built the scan
-				// table; framed files must have.
-				if codec == "fixed" && res.labelTable != nil {
-					t.Fatal("fixed-codec lookup built the in-memory fallback table; expected seeks")
-				}
-				if codec == "varint" && res.labelTable == nil {
-					t.Fatal("varint lookup answered without the scan table; framed files cannot seek")
+				// Path pinning: every codec writes a seekable label file now
+				// (framed ones carry the frame-index footer), so none may have
+				// built the scan table.
+				if res.labelTable != nil {
+					t.Fatalf("%s lookup built the in-memory fallback table; expected footer-indexed seeks", codec)
 				}
 			})
 		}
@@ -82,7 +81,7 @@ func TestLabelOfBothPaths(t *testing.T) {
 // nodes are omitted, present nodes match LabelMap, and the result is
 // identical across codecs.
 func TestLookupLabelsBatch(t *testing.T) {
-	for _, codec := range []string{"fixed", "varint"} {
+	for _, codec := range []string{"fixed", "varint", "compress"} {
 		t.Run(codec, func(t *testing.T) {
 			res := lookupResult(t, codec, OSStorage())
 			defer res.Close()
@@ -121,7 +120,7 @@ func TestLookupLabelsBatch(t *testing.T) {
 // TestLabelOfConcurrent hammers LabelOf from many goroutines (meaningful
 // under -race): the lazy init must be safe and every answer correct.
 func TestLabelOfConcurrent(t *testing.T) {
-	for _, codec := range []string{"fixed", "varint"} {
+	for _, codec := range []string{"fixed", "varint", "compress"} {
 		t.Run(codec, func(t *testing.T) {
 			res := lookupResult(t, codec, OSStorage())
 			defer res.Close()
@@ -156,6 +155,84 @@ func TestLabelOfConcurrent(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// stripLabelFooter rewrites res's framed label file without its frame-index
+// footer — the exact layout every framed file had before footers existed.
+func stripLabelFooter(t *testing.T, res *Result) {
+	t.Helper()
+	backend := res.cfg.Backend()
+	data, err := storage.ReadFile(backend, res.LabelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flen, ok, detail := blockio.ParseFooterTrailer(data[len(data)-blockio.FooterTrailerSize:])
+	if !ok || detail != "" {
+		t.Fatalf("label file carries no footer to strip (ok=%v, %q)", ok, detail)
+	}
+	f, err := backend.Create(res.LabelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data[:len(data)-flen]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyFooterlessLookupFallsBack pins backward compatibility for the one
+// framed layout that cannot seek: with the footer surgically removed (as every
+// pre-footer framed file looks), LabelOf still answers correctly — via the
+// one-time scan into the in-memory table.
+func TestLegacyFooterlessLookupFallsBack(t *testing.T) {
+	res := lookupResult(t, "varint", OSStorage())
+	defer res.Close()
+	want, err := res.LabelMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripLabelFooter(t, res)
+	for _, node := range []NodeID{0, 17, 399} {
+		got, ok, err := res.LabelOf(node)
+		if err != nil {
+			t.Fatalf("LabelOf(%d): %v", node, err)
+		}
+		wantSCC, wantOK := want[node]
+		if ok != wantOK || got != wantSCC {
+			t.Fatalf("LabelOf(%d) = (%d, %v), want (%d, %v)", node, got, ok, wantSCC, wantOK)
+		}
+	}
+	if _, ok, err := res.LabelOf(1 << 30); err != nil || ok {
+		t.Fatalf("LabelOf(absent) = (_, %v, %v), want (_, false, nil)", ok, err)
+	}
+	if res.labelTable == nil {
+		t.Fatal("footerless framed lookup answered without the scan table; only the table can serve it")
+	}
+}
+
+// TestFramedLookupAllocationBounded is the memory-cliff regression gate: point
+// lookups on a footer-indexed framed labelling must allocate a bounded amount
+// per call (reader buffers, one footer), never the per-node scan table whose
+// cost scales with the labelling.
+func TestFramedLookupAllocationBounded(t *testing.T) {
+	res := lookupResult(t, "compress", OSStorage())
+	defer res.Close()
+	if _, _, err := res.LabelOf(7); err != nil {
+		t.Fatal(err)
+	}
+	if res.labelTable != nil {
+		t.Fatal("footer-indexed lookup built the per-node scan table")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := res.LabelOf(123); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 500 {
+		t.Fatalf("LabelOf allocates %.0f objects per call; the seek path is bounded well under 500", allocs)
 	}
 }
 
