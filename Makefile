@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint bench bench-baseline fuzz faultsweep serve-smoke
+.PHONY: all build test race lint bench bench-baseline fuzz faultsweep serve-smoke microbench
 
 all: lint test race
 
@@ -20,12 +20,15 @@ test:
 # backend, and the sharded multi-volume backend under the race detector,
 # once per storage spec, plus a leg with the compress codec as the process
 # default (EXTSCC_CODEC) so the LZ encode/decode paths run under the
-# detector too.
+# detector too, and two legs with the shared block cache enabled
+# (EXTSCC_CACHE) so concurrent readers hammer one LRU under the detector.
 race:
 	EXTSCC_STORAGE=os $(GO) test -race -short ./...
 	EXTSCC_STORAGE=mem $(GO) test -race -short ./...
 	EXTSCC_STORAGE=shard=mem,mem $(GO) test -race -short ./...
 	EXTSCC_STORAGE=mem EXTSCC_CODEC=compress $(GO) test -race -short ./...
+	EXTSCC_STORAGE=mem EXTSCC_CACHE=32m $(GO) test -race -short ./...
+	EXTSCC_STORAGE=shard=mem,mem EXTSCC_CACHE=32m $(GO) test -race -short ./...
 
 # Mirrors the `lint` job.  staticcheck and govulncheck are skipped when not
 # installed so the target works offline; CI always runs them.
@@ -77,6 +80,14 @@ bench:
 	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-codec -workers 1 \
 		-json BENCH_codec.json -csv BENCH_codec.csv \
 		-baseline bench/baseline.json -tolerance 0.25
+	$(GO) run ./cmd/sccbench -experiment fig7 -quick -compare-cache -workers 1 \
+		-json BENCH_prof.json -csv BENCH_prof.csv
+
+# Steady-state allocation microbenchmarks: the per-frame encode/decode hot
+# path of every codec family must report 0 allocs/op (see -benchmem output;
+# TestFrameRoundTripAllocs enforces it in `make test` too).
+microbench:
+	$(GO) test ./internal/record -run '^$$' -bench BenchmarkFrameRoundTrip -benchmem -benchtime 200x
 
 # Refresh the committed baseline after an intentional I/O-count change;
 # commit the resulting bench/baseline.json.  The baseline is recorded under

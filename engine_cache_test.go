@@ -1,0 +1,133 @@
+package extscc
+
+// White-box cache-equivalence test: the engine-level contract of
+// WithBlockCache.  The block cache may only change wall-clock — a cached run
+// must produce byte-identical labellings AND an identical complete
+// iomodel.Stats snapshot, while actually hitting (otherwise the cache leg
+// proves nothing).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"extscc/internal/graphgen"
+	"extscc/internal/iomodel"
+)
+
+type cacheOutcome struct {
+	labels  []Label
+	snap    iomodel.Snapshot
+	numSCCs int64
+	hits    int64
+	misses  int64
+	phases  []PhaseStat
+}
+
+// runWithCache executes the default algorithm on a contraction-heavy
+// workload with the given cache budget (0 disables the cache explicitly).
+func runWithCache(t *testing.T, workers int, cacheBytes int64) cacheOutcome {
+	t.Helper()
+	edges := graphgen.Random(220, 660, 11)
+	eng, err := New(
+		WithNodeBudget(40), // forces several contraction iterations => re-reads
+		WithWorkers(workers),
+		WithStorage(MemStorage()),
+		WithTempDir(t.TempDir()),
+		WithBlockCache(cacheBytes),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), SliceSource(edges, 500, 501))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	labels, err := res.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cacheOutcome{
+		labels:  labels,
+		snap:    res.cfg.Stats.Snapshot(),
+		numSCCs: res.NumSCCs,
+		hits:    res.Stats.CacheHits,
+		misses:  res.Stats.CacheMisses,
+		phases:  res.Stats.Phases,
+	}
+}
+
+// TestBlockCacheEquivalence runs the same workload with the cache off and
+// with a generous budget, at one worker and at NumCPU workers: labellings
+// and every accounted I/O counter must be identical, and the cached leg must
+// record hits.
+func TestBlockCacheEquivalence(t *testing.T) {
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			off := runWithCache(t, workers, 0)
+			on := runWithCache(t, workers, 32<<20)
+
+			if off.hits != 0 || off.misses != 0 {
+				t.Errorf("cache-off run recorded %d hits, %d misses", off.hits, off.misses)
+			}
+			if on.hits == 0 {
+				t.Errorf("cache-on run recorded no hits (%d misses)", on.misses)
+			}
+			if on.numSCCs != off.numSCCs {
+				t.Fatalf("SCC count differs: off=%d on=%d", off.numSCCs, on.numSCCs)
+			}
+			if len(on.labels) != len(off.labels) {
+				t.Fatalf("label count differs: off=%d on=%d", len(off.labels), len(on.labels))
+			}
+			for i := range off.labels {
+				if off.labels[i] != on.labels[i] {
+					t.Fatalf("label %d differs: off=%v on=%v", i, off.labels[i], on.labels[i])
+				}
+			}
+			if off.snap != on.snap {
+				t.Fatalf("accounted I/O differs with the cache on:\n  off: %+v\n  on:  %+v", off.snap, on.snap)
+			}
+		})
+	}
+}
+
+// TestRunReportsPhases checks per-phase profiling is always on: every run
+// surfaces a stage phase and — on a contracting workload — a contract phase,
+// each with a positive invocation count.
+func TestRunReportsPhases(t *testing.T) {
+	out := runWithCache(t, 1, 0)
+	if len(out.phases) == 0 {
+		t.Fatal("run reported no phases")
+	}
+	got := map[string]PhaseStat{}
+	for _, p := range out.phases {
+		got[p.Name] = p
+	}
+	for _, name := range []string{"stage", "contract", "sort"} {
+		p, ok := got[name]
+		if !ok {
+			t.Errorf("run reported no %q phase (got %v)", name, out.phases)
+			continue
+		}
+		if p.Count <= 0 {
+			t.Errorf("phase %q has count %d, want > 0", name, p.Count)
+		}
+		if p.Wall < 0 {
+			t.Errorf("phase %q has negative wall time %v", name, p.Wall)
+		}
+	}
+}
+
+// TestWithBlockCacheRejectsNegative pins the option's contract: budgets are
+// non-negative, 0 meaning "explicitly off".
+func TestWithBlockCacheRejectsNegative(t *testing.T) {
+	if _, err := New(WithBlockCache(-1)); err == nil {
+		t.Fatal("WithBlockCache(-1) was accepted")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"extscc/internal/edgefile"
 	"extscc/internal/graphgen"
 	"extscc/internal/iomodel"
+	"extscc/internal/prof"
 	"extscc/internal/recio"
 	"extscc/internal/record"
 	"extscc/internal/storage"
@@ -77,6 +78,19 @@ type Measurement struct {
 	// sharded pre-pass preserves every SCC count but adds split/condense
 	// passes, so the I/O counts are not comparable across shard counts.
 	Shards int
+	// CacheBytes is the shared read-block cache budget of the run (0 = no
+	// cache).  Like Workers and Storage it never changes the accounted I/O
+	// counts — a cache hit is charged exactly like the read it replaced —
+	// only the wall-clock.
+	CacheBytes int64
+	// CacheHits and CacheMisses report how the block cache performed (both
+	// 0 when CacheBytes is 0).  They are diagnostics of the physical win,
+	// not part of the accounted I/O.
+	CacheHits   int64
+	CacheMisses int64
+	// Phases is the per-phase profile of the run (wall-clock, allocations,
+	// heap growth), in first-execution order.
+	Phases []PhaseMeasurement
 	// Iterations is the number of contraction iterations (Ext-SCC variants).
 	Iterations int
 	// NumSCCs is the number of SCCs found (sanity check across algorithms).
@@ -86,6 +100,46 @@ type Measurement struct {
 	// Note carries extra information (e.g. EM-SCC "did not converge").
 	Note string
 }
+
+// PhaseMeasurement is one profiled engine phase of a run, in report form
+// (wall-clock in milliseconds for direct plotting).
+type PhaseMeasurement struct {
+	Name      string  `json:"name"`
+	Count     int64   `json:"count"`
+	WallMS    float64 `json:"wall_ms"`
+	Allocs    int64   `json:"allocs"`
+	HeapDelta int64   `json:"heap_delta"`
+}
+
+// phaseMeasurements converts engine phase stats to report form.
+func phaseMeasurements(ps []extscc.PhaseStat) []PhaseMeasurement {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]PhaseMeasurement, len(ps))
+	for i, p := range ps {
+		out[i] = PhaseMeasurement{
+			Name: p.Name, Count: p.Count, WallMS: float64(p.Wall) / float64(time.Millisecond),
+			Allocs: p.Allocs, HeapDelta: p.HeapDelta,
+		}
+	}
+	return out
+}
+
+// PhaseWallMS returns the wall-clock milliseconds of the named phase (0 when
+// the run did not execute it).
+func (m Measurement) PhaseWallMS(name string) float64 {
+	for _, p := range m.Phases {
+		if p.Name == name {
+			return p.WallMS
+		}
+	}
+	return 0
+}
+
+// phaseColumns is the fixed per-phase CSV column order: every engine phase,
+// whether or not a particular run executed it.
+var phaseColumns = []string{"stage", "contract", "sort", "merge", "label", "expand"}
 
 // Config scales and caps the experiments.
 type Config struct {
@@ -122,6 +176,12 @@ type Config struct {
 	// (0 or 1 = unsharded).  Shard solves run concurrently, so the wall-clock
 	// drops with spare CPUs while every SCC count stays identical.
 	Shards int
+	// Cache is the shared read-block cache budget in bytes: 0 defers to the
+	// process default (EXTSCC_CACHE), a positive value is an explicit
+	// budget, and a negative value disables caching outright.  The measured
+	// I/O counts are identical at every setting — only the wall-clock and
+	// the CacheHits diagnostics change.
+	Cache int64
 }
 
 func (c Config) withDefaults() Config {
@@ -158,7 +218,7 @@ func (c Config) resolvedShards() int {
 
 // ioConfig builds the I/O-model configuration for one run.
 func (c Config) ioConfig(nodeBudget int64) iomodel.Config {
-	return iomodel.Config{
+	cfg := iomodel.Config{
 		BlockSize:  iomodel.DefaultBlockSize,
 		Memory:     iomodel.DefaultMemory,
 		NodeBudget: nodeBudget,
@@ -169,6 +229,13 @@ func (c Config) ioConfig(nodeBudget int64) iomodel.Config {
 		Storage:    c.Storage,
 		Stats:      &iomodel.Stats{},
 	}
+	switch {
+	case c.Cache > 0:
+		cfg.Cache = blockio.NewBlockCache(c.Cache)
+	case c.Cache < 0:
+		cfg.Cache = iomodel.NoBlockCache
+	}
+	return cfg
 }
 
 // Experiments lists the experiment identifiers in paper order.
@@ -346,6 +413,11 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 		extscc.WithRetry(c.Retries),
 		extscc.WithShards(c.resolvedShards()),
 	}
+	// A negative Cache is "explicitly off", which WithBlockCache spells 0;
+	// a Config.Cache of 0 leaves the engine on the process default.
+	if c.Cache != 0 {
+		opts = append(opts, extscc.WithBlockCache(max(c.Cache, 0)))
+	}
 	ctx := context.Background()
 	if budgeted {
 		budget := c.DFSBudget
@@ -370,7 +442,7 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 	res, err := eng.Run(ctx, extscc.PreparedSource(g.EdgePath, g.NodePath, g.NumNodes, g.NumEdges))
 	switch {
 	case errors.Is(err, extscc.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded):
-		return Measurement{Experiment: experiment, Series: series, X: x, Workers: c.resolvedWorkers(), Storage: backend.Name(), Codec: c.ioConfig(0).CodecFamily(), Shards: c.resolvedShards(), INF: true, Note: "exceeded budget"}, nil
+		return Measurement{Experiment: experiment, Series: series, X: x, Workers: c.resolvedWorkers(), Storage: backend.Name(), Codec: c.ioConfig(0).CodecFamily(), Shards: c.resolvedShards(), CacheBytes: max(c.Cache, 0), INF: true, Note: "exceeded budget"}, nil
 	case err != nil:
 		return Measurement{}, err
 	}
@@ -383,6 +455,10 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 		Storage:      res.Stats.Storage,
 		Codec:        res.Stats.Codec,
 		Shards:       c.resolvedShards(),
+		CacheBytes:   max(c.Cache, 0),
+		CacheHits:    res.Stats.CacheHits,
+		CacheMisses:  res.Stats.CacheMisses,
+		Phases:       phaseMeasurements(res.Stats.Phases),
 		Duration:     res.Stats.Duration,
 		TotalIOs:     res.Stats.TotalIOs,
 		RandomIOs:    res.Stats.RandomIOs,
@@ -398,11 +474,16 @@ func runRegistered(c Config, experiment, x string, g edgefile.Graph, nodeBudget 
 // expose.
 func runExt(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64, opts core.Options, series string) (Measurement, error) {
 	cfg := c.ioConfig(nodeBudget)
+	cfg.Prof = prof.New()
 	res, err := core.ExtSCC(context.Background(), g, c.TempDir, opts, cfg)
 	if err != nil {
 		return Measurement{}, err
 	}
 	defer res.Cleanup()
+	phases := make([]extscc.PhaseStat, 0, 4)
+	for _, p := range cfg.Prof.Snapshot() {
+		phases = append(phases, extscc.PhaseStat{Name: p.Name, Count: p.Count, Wall: p.Wall, Allocs: p.Allocs, HeapDelta: p.HeapDelta})
+	}
 	return Measurement{
 		Experiment:   experiment,
 		Series:       series,
@@ -411,6 +492,10 @@ func runExt(c Config, experiment, x string, g edgefile.Graph, nodeBudget int64, 
 		Storage:      cfg.Backend().Name(),
 		Codec:        cfg.CodecFamily(),
 		Shards:       1,
+		CacheBytes:   max(c.Cache, 0),
+		CacheHits:    cfg.Stats.CacheHits(),
+		CacheMisses:  cfg.Stats.CacheMisses(),
+		Phases:       phaseMeasurements(phases),
 		Duration:     res.Duration,
 		TotalIOs:     res.IO.TotalIOs(),
 		RandomIOs:    res.IO.RandomIOs(),
@@ -641,7 +726,7 @@ func emscc(c Config) ([]Measurement, error) {
 			MaxIterations:  16,
 		}, cfg)
 		if errors.Is(err, context.DeadlineExceeded) {
-			out = append(out, Measurement{Experiment: "emscc", Series: AlgoEM, X: x, Workers: cfg.WorkerCount(), Storage: cfg.Backend().Name(), Codec: cfg.CodecFamily(), INF: true, Note: "exceeded budget"})
+			out = append(out, Measurement{Experiment: "emscc", Series: AlgoEM, X: x, Workers: cfg.WorkerCount(), Storage: cfg.Backend().Name(), Codec: cfg.CodecFamily(), CacheBytes: max(c.Cache, 0), INF: true, Note: "exceeded budget"})
 			return nil
 		}
 		if err != nil {
@@ -654,6 +739,7 @@ func emscc(c Config) ([]Measurement, error) {
 			Workers:      cfg.WorkerCount(),
 			Storage:      cfg.Backend().Name(),
 			Codec:        cfg.CodecFamily(),
+			CacheBytes:   max(c.Cache, 0),
 			Duration:     res.Duration,
 			TotalIOs:     res.IO.TotalIOs(),
 			RandomIOs:    res.IO.RandomIOs(),
@@ -871,15 +957,31 @@ func FormatTable(ms []Measurement) string {
 	return b.String()
 }
 
-// WriteCSV writes measurements as CSV for plotting.
+// WriteCSV writes measurements as CSV for plotting.  The per-phase columns
+// hold wall-clock milliseconds per engine phase (0 for phases the run did
+// not execute; phase walls overlap under workers, so they need not sum to
+// duration_ms).
 func WriteCSV(w io.Writer, ms []Measurement) error {
-	if _, err := fmt.Fprintln(w, "experiment,x,algorithm,workers,storage,codec,shards,duration_ms,total_ios,random_ios,bytes_read,bytes_written,iterations,num_sccs,inf,note"); err != nil {
+	header := "experiment,x,algorithm,workers,storage,codec,shards,cache_bytes,cache_hits,cache_misses,duration_ms,total_ios,random_ios,bytes_read,bytes_written,iterations,num_sccs,inf,note"
+	for _, p := range phaseColumns {
+		header += "," + p + "_ms"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, m := range ms {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%t,%q\n",
-			m.Experiment, m.X, m.Series, m.Workers, m.Storage, m.Codec, m.shardCount(), m.Duration.Milliseconds(), m.TotalIOs, m.RandomIOs,
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%t,%q",
+			m.Experiment, m.X, m.Series, m.Workers, m.Storage, m.Codec, m.shardCount(), m.CacheBytes, m.CacheHits, m.CacheMisses,
+			m.Duration.Milliseconds(), m.TotalIOs, m.RandomIOs,
 			m.BytesRead, m.BytesWritten, m.Iterations, m.NumSCCs, m.INF, m.Note); err != nil {
+			return err
+		}
+		for _, p := range phaseColumns {
+			if _, err := fmt.Fprintf(w, ",%.3f", m.PhaseWallMS(p)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
 	}

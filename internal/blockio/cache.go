@@ -1,0 +1,238 @@
+package blockio
+
+// The read-block cache: an LRU over (backend, path, block offset) sitting
+// above the storage backend, below the I/O accounting.  A cached block
+// replaces the physical backend read but is charged to iomodel.Stats exactly
+// like the read it replaced, so every accounted counter — block counts, the
+// sequential/random split, bytes — is byte-identical with the cache on or
+// off; Stats.CacheHits/CacheMisses report the physical reads saved.
+//
+// Correctness rests on three rules, all enforced in this package:
+//   - only successfully read blocks are inserted (a failed or faulted read
+//     never populates the cache),
+//   - creating (truncating) or removing a file through this package
+//     invalidates its entries,
+//   - a frame that fails integrity verification evicts its file (see
+//     Reader.EvictCache and package recio), so detected corruption is never
+//     served from memory.
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"extscc/internal/iomodel"
+	"extscc/internal/pool"
+	"extscc/internal/storage"
+)
+
+// cacheFileKey identifies one file: the backend instance is part of the key
+// so distinct backends holding equal paths (two in-memory stores in one test
+// process) never share entries.
+type cacheFileKey struct {
+	backend storage.Backend
+	path    string
+}
+
+// cacheEntry is one cached block.
+type cacheEntry struct {
+	key  cacheFileKey
+	off  int64
+	data []byte
+}
+
+// BlockCache is the LRU read-block cache; create one with NewBlockCache and
+// hand it to iomodel.Config.Cache (the engine's WithBlockCache does).  It is
+// safe for concurrent use by any number of readers, including readers of
+// different runs sharing one cache.
+type BlockCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // of *cacheEntry; front = most recently used
+	files  map[cacheFileKey]map[int64]*list.Element
+}
+
+// NewBlockCache returns an empty LRU block cache holding at most budget
+// bytes of block data.  A non-positive budget caches nothing.
+func NewBlockCache(budget int64) *BlockCache {
+	return &BlockCache{
+		budget: budget,
+		lru:    list.New(),
+		files:  map[cacheFileKey]map[int64]*list.Element{},
+	}
+}
+
+// GetBlock implements iomodel.BlockCache.
+func (c *BlockCache) GetBlock(backend storage.Backend, path string, off int64, dst []byte) bool {
+	k := cacheFileKey{backend: backend, path: path}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.files[k][off]
+	if el == nil {
+		return false
+	}
+	e := el.Value.(*cacheEntry)
+	if len(e.data) < len(dst) {
+		// The caller sized dst to what the physical read would return;
+		// anything shorter must fall through to the backend so the
+		// accounted byte count stays exact.
+		return false
+	}
+	copy(dst, e.data)
+	c.lru.MoveToFront(el)
+	return true
+}
+
+// PutBlock implements iomodel.BlockCache.
+func (c *BlockCache) PutBlock(backend storage.Backend, path string, off int64, data []byte) {
+	if int64(len(data)) > c.budget || len(data) == 0 {
+		return
+	}
+	k := cacheFileKey{backend: backend, path: path}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.files[k][off]; el != nil {
+		e := el.Value.(*cacheEntry)
+		c.used -= int64(len(e.data))
+		if cap(e.data) >= len(data) {
+			e.data = e.data[:len(data)]
+		} else {
+			pool.PutSlice(e.data)
+			e.data = pool.GetSlice(len(data))
+		}
+		copy(e.data, data)
+		c.used += int64(len(data))
+		c.lru.MoveToFront(el)
+	} else {
+		e := &cacheEntry{key: k, off: off, data: pool.GetSlice(len(data))}
+		copy(e.data, data)
+		m := c.files[k]
+		if m == nil {
+			m = map[int64]*list.Element{}
+			c.files[k] = m
+		}
+		m[off] = c.lru.PushFront(e)
+		c.used += int64(len(data))
+	}
+	for c.used > c.budget {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		c.dropLocked(el)
+	}
+}
+
+// InvalidateFile implements iomodel.BlockCache.
+func (c *BlockCache) InvalidateFile(backend storage.Backend, path string) {
+	k := cacheFileKey{backend: backend, path: path}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range c.files[k] {
+		e := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		c.used -= int64(len(e.data))
+		pool.PutSlice(e.data)
+	}
+	delete(c.files, k)
+}
+
+// dropLocked evicts one entry; c.mu must be held.
+func (c *BlockCache) dropLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	c.used -= int64(len(e.data))
+	m := c.files[e.key]
+	delete(m, e.off)
+	if len(m) == 0 {
+		delete(c.files, e.key)
+	}
+	pool.PutSlice(e.data)
+}
+
+// Len returns the number of cached blocks; Used the cached bytes.  Both are
+// diagnostics for tests and logs.
+func (c *BlockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Used returns the number of data bytes currently cached.
+func (c *BlockCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// cacheEnvVar configures a process-default block cache; see CacheFor.
+const cacheEnvVar = "EXTSCC_CACHE"
+
+// defaultCacheOnce resolves EXTSCC_CACHE once.  Like EXTSCC_STORAGE and
+// EXTSCC_CODEC, a malformed value panics on first use: the variable is an
+// explicit operator instruction (the CI race matrix sets it), and a silent
+// fallback would report a cache-enabled leg green while running without one.
+var defaultCacheOnce = sync.OnceValue(func() iomodel.BlockCache {
+	spec := os.Getenv(cacheEnvVar)
+	if spec == "" {
+		return nil
+	}
+	n, err := ParseCacheSize(spec)
+	if err != nil {
+		panic(fmt.Sprintf("invalid %s environment: %v", cacheEnvVar, err))
+	}
+	if n <= 0 {
+		return nil
+	}
+	return NewBlockCache(n)
+})
+
+// CacheFor resolves the effective block cache of a configuration: the
+// explicit cfg.Cache if set (nil when it is iomodel.NoBlockCache), else the
+// process-wide default configured through the EXTSCC_CACHE environment
+// variable ("64m", "1g", a plain byte count; empty or "0" means no cache).
+func CacheFor(cfg iomodel.Config) iomodel.BlockCache {
+	if cfg.Cache == iomodel.NoBlockCache {
+		return nil
+	}
+	if cfg.Cache != nil {
+		return cfg.Cache
+	}
+	return defaultCacheOnce()
+}
+
+// ParseCacheSize parses a cache byte budget: a non-negative integer with an
+// optional k/m/g suffix (binary multiples, case-insensitive, an optional
+// trailing "b" or "ib" is accepted: "64k", "8MiB", "1g", "1048576").
+func ParseCacheSize(spec string) (int64, error) {
+	s := strings.ToLower(strings.TrimSpace(spec))
+	mult := int64(1)
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "b"), "i")
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("blockio: cache size %q is not a byte count like 1048576, 64k, 8m or 1g", spec)
+	}
+	return n * mult, nil
+}
+
+// InvalidateCache drops every cached block of path under cfg's backend and
+// cache.  Writers and Remove invalidate automatically; this helper covers
+// files replaced behind this package's back (backend-level Rename or Copy
+// onto an existing path, as ExportLabels does).
+func InvalidateCache(path string, cfg iomodel.Config) {
+	if c := CacheFor(cfg); c != nil {
+		c.InvalidateFile(cfg.Backend(), path)
+	}
+}

@@ -164,7 +164,9 @@ func run(ctx context.Context, g edgefile.Graph, runDir string, opts Options, cfg
 		if len(steps) >= maxIter {
 			return nil, fmt.Errorf("core: contraction did not reach the memory budget within %d iterations (|V|=%d, capacity=%d)", maxIter, current.NumNodes, capacity)
 		}
+		sp := cfg.Prof.Start("contract")
 		cres, err := contraction.Contract(ctx, current, runDir, copts, cfg)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -190,7 +192,9 @@ func run(ctx context.Context, g edgefile.Graph, runDir string, opts Options, cfg
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := cfg.Prof.Start("label")
 	semiRes, err := semiscc.Compute(current, runDir, semiscc.Options{ForceStreaming: opts.ForceStreamingSemi}, cfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -208,11 +212,13 @@ func run(ctx context.Context, g edgefile.Graph, runDir string, opts Options, cfg
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		sp := cfg.Prof.Start("expand")
 		eres, err := expansion.ExpandContext(ctx, expansion.Input{
 			EdgePath:       steps[i].edgePath,
 			RemovedPath:    steps[i].removedPath,
 			KeptLabelsPath: labels,
 		}, runDir, cfg)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}

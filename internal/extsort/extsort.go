@@ -102,13 +102,20 @@ func (s *Sorter[T]) SortFile(inPath, outPath string) error {
 }
 
 // SortStream sorts all records produced by in into a new file at outPath.
+// Run formation and run merging report to the run profile as the "sort" and
+// "merge" phases.
 func (s *Sorter[T]) SortStream(in recio.Iterator[T], outPath string) error {
+	sp := s.cfg.Prof.Start("sort")
 	runs, err := s.formRuns(in)
+	sp.End()
 	if err != nil {
 		removeAll(runs, s.cfg)
 		return err
 	}
-	if err := s.mergeRuns(runs, outPath); err != nil {
+	sp = s.cfg.Prof.Start("merge")
+	err = s.mergeRuns(runs, outPath)
+	sp.End()
+	if err != nil {
 		removeAll(runs, s.cfg)
 		return err
 	}

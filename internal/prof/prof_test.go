@@ -1,0 +1,95 @@
+package prof
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilProfileIsNoOp(t *testing.T) {
+	var p *Profile
+	sp := p.Start("anything")
+	sp.End()
+	if got := p.Snapshot(); got != nil {
+		t.Fatalf("nil profile snapshot = %v, want nil", got)
+	}
+	if p.Wall("anything") != 0 {
+		t.Fatal("nil profile Wall != 0")
+	}
+}
+
+func TestAggregationAndOrder(t *testing.T) {
+	p := New()
+	for i := 0; i < 3; i++ {
+		sp := p.Start("contract")
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	sp := p.Start("sort")
+	sp.End()
+
+	snap := p.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d phases, want 2", len(snap))
+	}
+	if snap[0].Name != "contract" || snap[1].Name != "sort" {
+		t.Fatalf("phase order = %q, %q; want contract, sort", snap[0].Name, snap[1].Name)
+	}
+	if snap[0].Count != 3 {
+		t.Fatalf("contract count = %d, want 3", snap[0].Count)
+	}
+	if snap[0].Wall < 3*time.Millisecond {
+		t.Fatalf("contract wall = %v, want >= 3ms", snap[0].Wall)
+	}
+	if p.Wall("contract") != snap[0].Wall {
+		t.Fatalf("Wall(contract) = %v, snapshot says %v", p.Wall("contract"), snap[0].Wall)
+	}
+}
+
+func TestAllocsAttributed(t *testing.T) {
+	p := New()
+	sp := p.Start("alloc")
+	sink = make([]byte, 1<<20)
+	sp.End()
+	snap := p.Snapshot()
+	if snap[0].Allocs < 1 {
+		t.Fatalf("allocs = %d, want >= 1", snap[0].Allocs)
+	}
+	sink = nil
+}
+
+var sink []byte
+
+func TestConcurrentSpans(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := p.Start("shard")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := p.Snapshot()
+	if len(snap) != 1 || snap[0].Count != 400 {
+		t.Fatalf("snapshot = %+v, want one phase with count 400", snap)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	if got := Format(nil); !strings.Contains(got, "no phases") {
+		t.Fatalf("Format(nil) = %q", got)
+	}
+	p := New()
+	sp := p.Start("merge")
+	sp.End()
+	out := Format(p.Snapshot())
+	if !strings.Contains(out, "merge") || !strings.Contains(out, "phase") {
+		t.Fatalf("Format output missing fields:\n%s", out)
+	}
+}

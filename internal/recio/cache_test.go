@@ -1,0 +1,129 @@
+package recio
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"extscc/internal/blockio"
+	"extscc/internal/iomodel"
+	"extscc/internal/record"
+	"extscc/internal/storage"
+)
+
+// cacheConfig builds a varint config on a fresh in-memory backend with an
+// explicit private block cache.
+func cacheConfig(t *testing.T, cache *blockio.BlockCache) iomodel.Config {
+	t.Helper()
+	cfg, err := iomodel.Config{
+		BlockSize: 256,
+		Memory:    1024,
+		Codec:     record.FamilyVarint,
+		Storage:   storage.NewMem(),
+		Stats:     &iomodel.Stats{},
+		Cache:     cache,
+	}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestWarmReadServesIdenticalRecords re-reads a framed file with a warm
+// cache: same records, same accounted I/O, and the warm pass reports hits.
+func TestWarmReadServesIdenticalRecords(t *testing.T) {
+	cfg := cacheConfig(t, blockio.NewBlockCache(1<<20))
+	const path = "/mem/cache/warm.bin"
+	edges := makeEdges(120)
+	if err := WriteSlice(path, record.EdgeCodec{}, cfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	var snaps [2]iomodel.Snapshot
+	var hits [2]int64
+	for pass := range snaps {
+		st := &iomodel.Stats{}
+		passCfg := cfg
+		passCfg.Stats = st
+		got, err := ReadAll(path, record.EdgeCodec{}, passCfg)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if !reflect.DeepEqual(got, edges) {
+			t.Fatalf("pass %d decoded %d records differently", pass, len(got))
+		}
+		snaps[pass], hits[pass] = st.Snapshot(), st.CacheHits()
+	}
+	if snaps[0] != snaps[1] {
+		t.Errorf("accounted I/O differs between cold and warm pass:\ncold %+v\nwarm %+v", snaps[0], snaps[1])
+	}
+	if hits[0] != 0 {
+		t.Errorf("cold pass recorded %d cache hits, want 0", hits[0])
+	}
+	if hits[1] == 0 {
+		t.Error("warm pass recorded no cache hits")
+	}
+}
+
+// TestCorruptReadNeverCached pins the corruption rule end to end: a frame
+// that fails verification evicts its file from the cache, so the corrupt
+// bytes are never served from memory — restoring the pristine bytes behind
+// blockio's back immediately reads clean again.
+func TestCorruptReadNeverCached(t *testing.T) {
+	cache := blockio.NewBlockCache(1 << 20)
+	cfg := cacheConfig(t, cache)
+	mem := cfg.Backend()
+	const path = "/mem/cache/corrupt.bin"
+	edges := makeEdges(120)
+	if err := WriteSlice(path, record.EdgeCodec{}, cfg, edges); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := storage.ReadFile(mem, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(path, record.EdgeCodec{}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("clean read did not populate the cache")
+	}
+
+	writeDirect := func(data []byte) {
+		t.Helper()
+		f, err := mem.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Corrupt one payload byte of the first frame.  The direct write is a
+	// legitimate file replacement, so it announces itself to the cache; the
+	// point under test is what the failed read leaves behind.
+	patched := append([]byte(nil), pristine...)
+	patched[blockio.FrameHeaderSize] ^= 0x40
+	writeDirect(patched)
+	blockio.InvalidateCache(path, cfg)
+	if _, err := readAllOrErr(path, cfg); !errors.Is(err, blockio.ErrCorrupt) {
+		t.Fatalf("corrupted file read returned %v, want ErrCorrupt", err)
+	}
+	if n := cache.Len(); n != 0 {
+		t.Fatalf("failed read left %d blocks cached", n)
+	}
+
+	// Restore the pristine bytes WITHOUT invalidating: only an empty cache
+	// can explain a clean identical read here.
+	writeDirect(pristine)
+	got, err := ReadAll(path, record.EdgeCodec{}, cfg)
+	if err != nil {
+		t.Fatalf("restored file failed to read: %v", err)
+	}
+	if !reflect.DeepEqual(got, edges) {
+		t.Fatalf("restored file decoded %d records differently", len(got))
+	}
+}

@@ -79,6 +79,10 @@ func TestCorruptionSmokeEveryPayloadByte(t *testing.T) {
 		if err := f.Close(); err != nil {
 			t.Fatal(err)
 		}
+		// The copy replaces the file behind blockio's back; drop any cached
+		// blocks so a configured block cache (the EXTSCC_CACHE race leg)
+		// cannot serve the previous copy.
+		blockio.InvalidateCache(path, cfg)
 	}
 
 	// The file ends with the frame-index footer; streaming reads never

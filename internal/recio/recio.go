@@ -30,6 +30,7 @@ import (
 
 	"extscc/internal/blockio"
 	"extscc/internal/iomodel"
+	"extscc/internal/pool"
 	"extscc/internal/record"
 )
 
@@ -86,7 +87,7 @@ func NewWriterFamily[T any](path string, codec record.Codec[T], cfg iomodel.Conf
 		w.bc = bc
 		w.frameCap = cap
 		w.batch = make([]T, 0, cap)
-		w.frame = make([]byte, blockio.FrameHeaderSize, bs)
+		w.frame = pool.GetSlice(bs)[:blockio.FrameHeaderSize]
 	} else {
 		w.buf = make([]byte, codec.Size())
 	}
@@ -173,6 +174,8 @@ func (w *Writer[T]) Close() error {
 		}
 	}
 	w.stats.CountLogicalWrite(w.count * int64(w.codec.Size()))
+	pool.PutSlice(w.frame)
+	w.frame = nil
 	cerr := w.w.Close()
 	if ferr != nil {
 		return ferr
@@ -327,6 +330,7 @@ func (r *Reader[T]) loadFooter() error {
 	if err != nil {
 		if errors.Is(err, blockio.ErrCorrupt) {
 			r.stats.CountCorrupt()
+			fr.EvictCache()
 			err = fmt.Errorf("recio: %w", err)
 		}
 		r.footerErr = err
@@ -376,8 +380,11 @@ func (r *Reader[T]) readFull(p []byte) error {
 
 // corrupt builds the typed corruption error for the frame currently being
 // read, naming the file, the frame index and the byte offset of its header.
+// It also evicts the file from the read-block cache: blocks of a frame that
+// failed verification must never be served from memory again.
 func (r *Reader[T]) corrupt(off int64, detail string) error {
 	r.stats.CountCorrupt()
+	r.r.EvictCache()
 	return fmt.Errorf("recio: %w", &blockio.CorruptError{Path: r.Name(), Frame: r.frameIdx, Offset: off, Detail: detail})
 }
 
@@ -439,7 +446,8 @@ func (r *Reader[T]) nextFrame() error {
 			return r.corrupt(start, fmt.Sprintf("frame payload length %d exceeds file size %d", h.Payload, r.r.Size()))
 		}
 		if cap(r.payload) < int(h.Payload) {
-			r.payload = make([]byte, h.Payload)
+			pool.PutSlice(r.payload)
+			r.payload = pool.GetSlice(int(h.Payload))
 		}
 		pb := r.payload[:h.Payload]
 		if err := r.readFull(pb); err != nil {
@@ -611,8 +619,12 @@ func (r *Reader[T]) SeekToKey(key uint64) (int64, error) {
 	return r.frameFirst + int64(r.bi), nil
 }
 
-// Close closes the underlying file.
-func (r *Reader[T]) Close() error { return r.r.Close() }
+// Close closes the underlying file and recycles the frame-payload scratch.
+func (r *Reader[T]) Close() error {
+	pool.PutSlice(r.payload)
+	r.payload = nil
+	return r.r.Close()
+}
 
 // Iterator is a pull-based stream of records: Next returns (record, true, nil)
 // until the stream is exhausted, then (zero, false, nil).

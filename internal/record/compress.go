@@ -3,6 +3,8 @@ package record
 import (
 	"encoding/binary"
 	"fmt"
+
+	"extscc/internal/pool"
 )
 
 // The compress family: per-frame byte-oriented LZ77-style match/literal
@@ -194,10 +196,13 @@ func (c CompressCodec[T]) ID() CodecID { return c.id }
 // only when smaller.
 func (c CompressCodec[T]) MaxRecordSize() int { return c.fixed.Size() + 1 }
 
-// AppendBlock implements BlockCodec.
+// AppendBlock implements BlockCodec.  The fixed-layout staging buffer comes
+// from the byte pool: it lives only for this call, so the encode path is
+// allocation-free at steady state.
 func (c CompressCodec[T]) AppendBlock(dst []byte, recs []T) []byte {
 	size := c.fixed.Size()
-	raw := make([]byte, len(recs)*size)
+	rawp := pool.Get(len(recs) * size)
+	raw := *rawp
 	for i, rec := range recs {
 		c.fixed.Encode(rec, raw[i*size:])
 	}
@@ -208,6 +213,7 @@ func (c CompressCodec[T]) AppendBlock(dst []byte, recs []T) []byte {
 		dst = append(dst[:start], compressModeRaw)
 		dst = append(dst, raw...)
 	}
+	pool.Put(rawp)
 	return dst
 }
 
@@ -218,7 +224,10 @@ func (c CompressCodec[T]) DecodeBlock(payload []byte, count int, dst []T) ([]T, 
 		return dst, fmt.Errorf("record: codec %d: empty compress payload", c.id)
 	}
 	mode, body := payload[0], payload[1:]
+	// The LZ destination comes from the byte pool; the decoded records are
+	// values copied into dst, so the buffer is recycled before returning.
 	var raw []byte
+	var rawp *[]byte
 	switch mode {
 	case compressModeRaw:
 		if len(body) != count*size {
@@ -226,8 +235,11 @@ func (c CompressCodec[T]) DecodeBlock(payload []byte, count int, dst []T) ([]T, 
 		}
 		raw = body
 	case compressModeLZ:
-		buf, err := lzDecode(make([]byte, 0, count*size), body, count*size)
+		rawp = pool.Get(count * size)
+		buf, err := lzDecode((*rawp)[:0], body, count*size)
+		*rawp = buf
 		if err != nil {
+			pool.Put(rawp)
 			return dst, fmt.Errorf("record: codec %d: %w", c.id, err)
 		}
 		raw = buf
@@ -236,6 +248,9 @@ func (c CompressCodec[T]) DecodeBlock(payload []byte, count int, dst []T) ([]T, 
 	}
 	for i := 0; i < count; i++ {
 		dst = append(dst, c.fixed.Decode(raw[i*size:]))
+	}
+	if rawp != nil {
+		pool.Put(rawp)
 	}
 	return dst, nil
 }

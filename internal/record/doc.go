@@ -125,6 +125,20 @@
 // index and key probes use the per-frame key ranges.  The byte-level footer
 // layout and parsing rules live in package blockio (footer.go).
 //
+// # Pooling, caching and the accounting guarantee
+//
+// The encode/decode hot paths stage their scratch space through the
+// size-classed buffer pool (package pool) and readers may sit behind the
+// shared read-block cache (package blockio).  Neither changes a single
+// on-disk byte: pooled buffers are scratch memory, and a cached block is the
+// verbatim block a physical read would have returned.  The same separation
+// holds in the cost model as for the mem ≡ os storage guarantee — the
+// accounted I/O counters describe the access pattern, not the hardware (or
+// memory) serving it — so a cache hit is charged exactly like the read it
+// replaced and every Stats counter is identical with the cache on or off.
+// Only the diagnostic Stats.CacheHits/CacheMisses pair reports the physical
+// reads saved.
+//
 // Future codecs extend the table above with a fresh CodecID; IDs are
 // append-only and never reused, so old files stay decodable.
 package record

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+	netpprof "net/http/pprof"
 	"strconv"
 	"time"
 
@@ -19,6 +20,15 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /reach/{u}/{v}", s.handleReach)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	if s.opts.EnablePprof {
+		// Opt-in only (Options.EnablePprof / sccserve -pprof): the handlers
+		// expose goroutine dumps, heap contents and CPU profiles.
+		mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	}
 	return mux
 }
 
@@ -155,11 +165,12 @@ type statsResponse struct {
 	Algorithm string       `json:"algorithm"`
 	Engine    extscc.Stats `json:"engine"`
 	Build     struct {
-		ReadIOs      int64 `json:"read_ios"`
-		WriteIOs     int64 `json:"write_ios"`
-		BytesRead    int64 `json:"bytes_read"`
-		BytesWritten int64 `json:"bytes_written"`
-		FilesCreated int64 `json:"files_created"`
+		ReadIOs      int64       `json:"read_ios"`
+		WriteIOs     int64       `json:"write_ios"`
+		BytesRead    int64       `json:"bytes_read"`
+		BytesWritten int64       `json:"bytes_written"`
+		FilesCreated int64       `json:"files_created"`
+		Phases       []phaseJSON `json:"phases,omitempty"`
 	} `json:"index_build"`
 	Index   condense.IndexStats `json:"index"`
 	Serving struct {
@@ -170,6 +181,16 @@ type statsResponse struct {
 		CacheMisses    int64   `json:"cache_misses"`
 		UptimeSeconds  float64 `json:"uptime_seconds"`
 	} `json:"serving"`
+}
+
+// phaseJSON is one profiled phase in /stats, with wall-clock in milliseconds
+// for direct human consumption.
+type phaseJSON struct {
+	Name      string  `json:"name"`
+	Count     int64   `json:"count"`
+	WallMS    float64 `json:"wall_ms"`
+	Allocs    int64   `json:"allocs"`
+	HeapDelta int64   `json:"heap_delta"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -186,6 +207,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Build.BytesRead = s.buildIO.BytesRead
 	resp.Build.BytesWritten = s.buildIO.BytesWritten
 	resp.Build.FilesCreated = s.buildIO.FilesCreated
+	for _, p := range s.buildPhases {
+		resp.Build.Phases = append(resp.Build.Phases, phaseJSON{
+			Name: p.Name, Count: p.Count, WallMS: float64(p.Wall) / float64(time.Millisecond),
+			Allocs: p.Allocs, HeapDelta: p.HeapDelta,
+		})
+	}
 	resp.Index = s.index.Stats()
 	resp.Serving.Queries = s.queries.Load()
 	resp.Serving.Batches, resp.Serving.BatchedLookups = s.store.stats()

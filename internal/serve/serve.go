@@ -36,6 +36,7 @@ import (
 	"extscc/internal/blockio"
 	"extscc/internal/condense"
 	"extscc/internal/iomodel"
+	"extscc/internal/prof"
 	"extscc/internal/storage"
 )
 
@@ -61,6 +62,11 @@ type Options struct {
 	// TempDir is the parent for the run and serve directories ("" = the
 	// system temp directory).
 	TempDir string
+	// CacheBytes is the shared read-block cache budget used for the
+	// ingestion run and the DAG/index builds (see extscc.WithBlockCache):
+	// 0 defers to the process default (EXTSCC_CACHE), negative disables
+	// caching outright.
+	CacheBytes int64
 
 	// Addr is the HTTP listen address for Listen ("" = "127.0.0.1:0").
 	Addr string
@@ -75,6 +81,10 @@ type Options struct {
 	// DrainTimeout bounds the graceful-shutdown drain of in-flight queries
 	// (0 = 10s).
 	DrainTimeout time.Duration
+	// EnablePprof mounts net/http/pprof's profiling endpoints under
+	// /debug/pprof/ on the query mux.  Off by default: the endpoints expose
+	// runtime internals and should only be reachable on trusted listeners.
+	EnablePprof bool
 }
 
 func (o Options) batchWindow() time.Duration {
@@ -120,11 +130,12 @@ type Server struct {
 	cache   *lruCache
 	mux     *http.ServeMux
 
-	dir      string // serve directory: DAG edge file + hop-label files
-	dagEdges int64
-	dagNodes int
-	buildIO  iomodel.Snapshot // I/O cost of DAG + index construction
-	started  time.Time
+	dir         string // serve directory: DAG edge file + hop-label files
+	dagEdges    int64
+	dagNodes    int
+	buildIO     iomodel.Snapshot // I/O cost of DAG + index construction
+	buildPhases []prof.PhaseStats
+	started     time.Time
 
 	queries atomic.Int64
 
@@ -162,6 +173,13 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 		extscc.WithStorage(backend),
 		extscc.WithTempDir(tempDir),
 	}
+	// CacheBytes > 0 is an explicit budget, < 0 an explicit off; 0 leaves
+	// the engine on the process default (EXTSCC_CACHE), so no option at all.
+	if opts.CacheBytes > 0 {
+		engOpts = append(engOpts, extscc.WithBlockCache(opts.CacheBytes))
+	} else if opts.CacheBytes < 0 {
+		engOpts = append(engOpts, extscc.WithBlockCache(0))
+	}
 	if opts.Algorithm != "" {
 		engOpts = append(engOpts, extscc.WithAlgorithm(opts.Algorithm))
 	}
@@ -189,7 +207,7 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 		return nil, err
 	}
 
-	cfg, err := iomodel.Config{
+	buildCfg := iomodel.Config{
 		BlockSize: opts.BlockSize,
 		Memory:    opts.Memory,
 		Workers:   opts.Workers,
@@ -198,26 +216,39 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 		Storage:   backend,
 		TempDir:   dir,
 		Stats:     &iomodel.Stats{},
-	}.Validate()
+		Prof:      prof.New(),
+	}
+	switch {
+	case opts.CacheBytes > 0:
+		buildCfg.Cache = blockio.NewBlockCache(opts.CacheBytes)
+	case opts.CacheBytes < 0:
+		buildCfg.Cache = iomodel.NoBlockCache
+	}
+	cfg, err := buildCfg.Validate()
 	if err != nil {
 		return fail(err)
 	}
 
+	sp := cfg.Prof.Start("index-build")
 	dagPath := blockio.TempFile(dir, "dag-edges", cfg.Stats)
 	s.dagEdges, err = condense.Build(ctx, res.EdgePath, res.LabelPath, dagPath, cfg)
 	if err != nil {
+		sp.End()
 		return fail(fmt.Errorf("serve: build condensation DAG: %w", err))
 	}
 	dag, err := condense.Load(dagPath, cfg)
 	if err != nil {
+		sp.End()
 		return fail(fmt.Errorf("serve: load condensation DAG: %w", err))
 	}
 	s.dagNodes = len(dag.Nodes())
 	s.index, err = condense.BuildIndex(ctx, dag, dir, cfg)
+	sp.End()
 	if err != nil {
 		return fail(fmt.Errorf("serve: build reachability index: %w", err))
 	}
 	s.buildIO = cfg.Stats.Snapshot()
+	s.buildPhases = cfg.Prof.Snapshot()
 
 	s.cache = newLRU(opts.cacheSize())
 	s.store = newLabelStore(res, opts.batchWindow(), opts.maxBatch())

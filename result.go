@@ -10,7 +10,9 @@ import (
 
 	"time"
 
+	"extscc/internal/blockio"
 	"extscc/internal/iomodel"
+	"extscc/internal/prof"
 	"extscc/internal/recio"
 	"extscc/internal/record"
 	"extscc/internal/storage"
@@ -54,6 +56,16 @@ type Stats struct {
 	// ErrCorrupt, so a successful Result always reports 0; the counter exists
 	// for post-mortem inspection by tools that snapshot mid-run.
 	CorruptFrames int64
+	// CacheHits and CacheMisses report the shared block cache (WithBlockCache
+	// or EXTSCC_CACHE): hits are block reads served from memory instead of the
+	// storage backend, misses are cache lookups that went to storage.  Both
+	// are zero when no cache is configured.  A cache hit is charged exactly
+	// like the read it replaced, so these counters are diagnostics of the
+	// physical win only — every accounted counter above is identical cache on
+	// or off.  Unlike those counters, hit/miss totals may vary with the worker
+	// count, because eviction and prefetch timing are scheduling-dependent.
+	CacheHits   int64
+	CacheMisses int64
 	// ContractionIterations is the number of contraction steps performed
 	// (0 for algorithms that do not contract).
 	ContractionIterations int
@@ -66,8 +78,39 @@ type Stats struct {
 	// Codec names the record-codec family intermediate files were written
 	// with ("fixed", "varint", "compress"); see WithCodec.
 	Codec string
+	// Phases breaks the run down by engine phase — staging, contraction,
+	// sorting, merging, labelling, expansion — in first-execution order.
+	// Wall-clock overlaps under WithWorkers (phases run concurrently inside
+	// the sort, for example), so phase walls can sum to more than Duration.
+	Phases []PhaseStat
 	// Duration is the wall-clock time of the computation.
 	Duration time.Duration
+}
+
+// PhaseStat is the aggregated profile of one named engine phase: how often it
+// ran, its total wall-clock, and its approximate allocation and heap cost
+// (heap deltas are sampled at span boundaries, so concurrent activity from
+// other phases bleeds in; treat Allocs and HeapDelta as indicative, Wall as
+// exact).
+type PhaseStat struct {
+	Name      string
+	Count     int64
+	Wall      time.Duration
+	Allocs    int64
+	HeapDelta int64
+}
+
+// phaseStats converts an internal profile snapshot into the public form.
+func phaseStats(p *prof.Profile) []PhaseStat {
+	snap := p.Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	out := make([]PhaseStat, len(snap))
+	for i, s := range snap {
+		out[i] = PhaseStat{Name: s.Name, Count: s.Count, Wall: s.Wall, Allocs: s.Allocs, HeapDelta: s.HeapDelta}
+	}
+	return out
 }
 
 // Result is the outcome of a computation.
@@ -316,6 +359,11 @@ func (r *Result) ExportLabels(path string) error {
 		return errors.New("extscc: result has no label file")
 	}
 	backend := r.cfg.Backend()
+	// The rename (or copy) below goes straight through the backend, not
+	// through blockio's writer, so drop any cached blocks held under either
+	// path before the bytes move.
+	blockio.InvalidateCache(r.LabelPath, r.cfg)
+	blockio.InvalidateCache(path, r.cfg)
 	if err := backend.Rename(r.LabelPath, path); err == nil {
 		r.LabelPath = path
 		return nil

@@ -181,6 +181,9 @@ func stripLabelFooter(t *testing.T, res *Result) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
+	// The rewrite bypasses blockio; evict any cached blocks of the old copy
+	// so a configured block cache cannot serve the stripped footer back.
+	blockio.InvalidateCache(res.LabelPath, res.cfg)
 }
 
 // TestLegacyFooterlessLookupFallsBack pins backward compatibility for the one
